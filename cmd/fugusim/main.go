@@ -1,0 +1,115 @@
+// Command fugusim regenerates the tables and figures of "Exploiting
+// Two-Case Delivery for Fast Protected Messaging" (HPCA 1998) on the
+// simulated FUGU machine.
+//
+// Usage:
+//
+//	fugusim [-full] [-trials N] [-seed S] table4|table5|table6|fig7|fig8|fig9|fig10|all
+//
+// Quick mode (default) scales workloads down so the whole suite runs in
+// minutes; -full uses the paper's sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fugu/internal/harness"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the paper-scale workloads (slow)")
+	trials := flag.Int("trials", 0, "trials per data point (default: 1 quick, 3 full)")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	csvDir := flag.String("csv", "", "also write experiment data as CSV files into this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fugusim [flags] table4|table5|table6|fig7|fig8|fig9|fig10|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := harness.QuickOptions()
+	if *full {
+		opt = harness.DefaultOptions()
+	}
+	if *trials > 0 {
+		opt.Trials = *trials
+	}
+	opt.Seed = *seed
+
+	run := func(name string, fn func()) {
+		start := time.Now()
+		fmt.Printf("== %s ==\n", name)
+		fn()
+		fmt.Printf("(%s took %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	saveCSV := func(name, content string) {
+		if *csvDir == "" {
+			return
+		}
+		if err := harness.WriteCSV(*csvDir, name, content); err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	experiments := map[string]func(){
+		"table4": func() { harness.Table4().Print(os.Stdout) },
+		"table5": func() { harness.Table5().Print(os.Stdout) },
+		"table6": func() {
+			r := harness.Table6(opt)
+			r.Print(os.Stdout)
+			saveCSV("table6.csv", r.CSV())
+		},
+		"fig7": func() {
+			r := harness.Fig7and8(opt)
+			r.Print7(os.Stdout)
+			saveCSV("fig7.csv", r.CSV7())
+		},
+		"fig8": func() {
+			r := harness.Fig7and8(opt)
+			r.Print8(os.Stdout)
+			saveCSV("fig8.csv", r.CSV8())
+		},
+		"fig9": func() {
+			r := harness.Fig9(opt)
+			r.Print(os.Stdout)
+			saveCSV("fig9.csv", r.CSV())
+		},
+		"fig10": func() {
+			r := harness.Fig10(opt)
+			r.Print(os.Stdout)
+			saveCSV("fig10.csv", r.CSV())
+		},
+	}
+
+	switch what := flag.Arg(0); what {
+	case "all":
+		run("table4", experiments["table4"])
+		run("table5", experiments["table5"])
+		run("table6", experiments["table6"])
+		// Figures 7 and 8 share their sweep; run it once.
+		run("fig7+fig8", func() {
+			r := harness.Fig7and8(opt)
+			r.Print7(os.Stdout)
+			r.Print8(os.Stdout)
+			saveCSV("fig7.csv", r.CSV7())
+			saveCSV("fig8.csv", r.CSV8())
+		})
+		run("fig9", experiments["fig9"])
+		run("fig10", experiments["fig10"])
+	default:
+		fn, ok := experiments[what]
+		if !ok {
+			flag.Usage()
+			os.Exit(2)
+		}
+		run(what, fn)
+	}
+}

@@ -1,0 +1,137 @@
+// Package fugu is a deterministic, cycle-accounted simulation of the MIT
+// FUGU multiprocessor and its Glaze operating system, built to reproduce
+// "Exploiting Two-Case Delivery for Fast Protected Messaging" (MacKenzie et
+// al., HPCA 1998).
+//
+// The package is a facade over the implementation layers:
+//
+//   - a discrete-event engine with coroutine tasks (internal/sim, internal/cpu)
+//   - the two-network mesh interconnect (internal/mesh)
+//   - the FUGU network interface with GID protection and the revocable
+//     interrupt disable (internal/nic)
+//   - the Glaze kernel: two-case delivery, virtual buffering, overflow
+//     control and the gang scheduler (internal/glaze, internal/vm)
+//   - the user-level UDM messaging library (internal/udm)
+//   - CRL software shared memory and the paper's applications
+//     (internal/crl, internal/apps)
+//   - the experiment harness regenerating the paper's tables and figures
+//     (internal/harness)
+//
+// A minimal program sends one message between two nodes:
+//
+//	m := fugu.NewMachine(fugu.DefaultConfig())
+//	job := m.NewJob("hello")
+//	ep0 := fugu.Attach(job.Process(0))
+//	ep1 := fugu.Attach(job.Process(1))
+//	ep1.On(1, func(e *fugu.Env, msg *fugu.Msg) { fmt.Println("got", msg.Args) })
+//	job.Process(0).StartMain(func(t *fugu.Task) {
+//	    ep0.Env(t).Inject(1, 1, 42)
+//	})
+//	m.NewGang(1<<40, 0, job).Start()
+//	m.RunUntilDone(0, job)
+//
+// See examples/ for runnable programs and cmd/fugusim for the experiment
+// runner.
+package fugu
+
+import (
+	"fugu/internal/apps"
+	"fugu/internal/cpu"
+	"fugu/internal/glaze"
+	"fugu/internal/harness"
+	"fugu/internal/udm"
+)
+
+// Core machine types.
+type (
+	// Machine is a simulated FUGU multiprocessor.
+	Machine = glaze.Machine
+	// Config parameterizes a machine (mesh size, cost model, NI, frames).
+	Config = glaze.Config
+	// Job is a gang-scheduled parallel application (one process per node).
+	Job = glaze.Job
+	// Process is one node's half of a job.
+	Process = glaze.Process
+	// Gang is the system scheduler with skewable per-node clocks.
+	Gang = glaze.Gang
+	// CostModel carries the cycle constants of Tables 4 and 5.
+	CostModel = glaze.CostModel
+	// Task is a simulated thread; application code runs in one.
+	Task = cpu.Task
+)
+
+// UDM user-level messaging types.
+type (
+	// EP is a process's UDM endpoint.
+	EP = udm.EP
+	// Env is the execution environment handed to threads and handlers.
+	Env = udm.Env
+	// Msg is one extracted message.
+	Msg = udm.Msg
+	// Handler is a user message handler.
+	Handler = udm.Handler
+	// Counter is the user-level synchronization primitive.
+	Counter = udm.Counter
+)
+
+// Atomicity implementations (the three columns of Table 4).
+const (
+	KernelMode    = glaze.KernelMode
+	HardAtomicity = glaze.HardAtomicity
+	SoftAtomicity = glaze.SoftAtomicity
+)
+
+// NewMachine builds a machine: engine, mesh, per-node CPU, NI, frame pool
+// and kernel.
+func NewMachine(cfg Config) *Machine { return glaze.NewMachine(cfg) }
+
+// DefaultConfig returns the 8-node, soft-atomicity configuration the
+// paper's experiments use.
+func DefaultConfig() Config { return glaze.DefaultConfig() }
+
+// Costs returns the cost model for one of Table 4's columns.
+func Costs(impl glaze.AtomicityImpl) CostModel { return glaze.Costs(impl) }
+
+// Attach binds a UDM endpoint to a process and installs its upcall.
+func Attach(p *Process) *EP { return udm.Attach(p) }
+
+// NewCounter returns a user-level synchronization counter.
+func NewCounter() *Counter { return udm.NewCounter() }
+
+// Workloads from the paper, re-exported for example programs and benches.
+var (
+	// NewBarrierApp returns the barrier benchmark.
+	NewBarrierApp = apps.NewBarrierApp
+	// NewEnum returns the triangle-puzzle enumeration benchmark.
+	NewEnum = apps.NewEnum
+	// NewSynth returns the synth-N producer-consumer microbenchmark.
+	NewSynth = apps.NewSynth
+	// NewLU returns the blocked LU decomposition on CRL.
+	NewLU = apps.NewLU
+	// NewWater returns the particle-dynamics benchmark on CRL.
+	NewWater = apps.NewWater
+	// NewBarnes returns the Barnes-Hut N-body benchmark on CRL.
+	NewBarnes = apps.NewBarnes
+)
+
+// Experiment entry points (see cmd/fugusim for the CLI).
+var (
+	// Table4 reproduces the fast-path cycle counts.
+	Table4 = harness.Table4
+	// Table5 reproduces the buffered-path costs.
+	Table5 = harness.Table5
+	// Table6 reproduces the application characteristics.
+	Table6 = harness.Table6
+	// Fig7and8 runs the schedule-quality sweep behind Figures 7 and 8.
+	Fig7and8 = harness.Fig7and8
+	// Fig9 sweeps the send interval for synth-N.
+	Fig9 = harness.Fig9
+	// Fig10 sweeps the buffered-path cost for synth-N.
+	Fig10 = harness.Fig10
+)
+
+// QuickOptions and DefaultOptions scale the experiments.
+var (
+	QuickOptions   = harness.QuickOptions
+	DefaultOptions = harness.DefaultOptions
+)

@@ -1,0 +1,82 @@
+package fugu
+
+import (
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the public API exactly as the README's
+// quickstart does: build a machine, wire endpoints, exchange messages.
+func TestFacadeQuickstart(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.W, cfg.H = 2, 1
+	m := NewMachine(cfg)
+	job := m.NewJob("hello")
+	ep0 := Attach(job.Process(0))
+	ep1 := Attach(job.Process(1))
+
+	var got []uint64
+	ep1.On(1, func(e *Env, msg *Msg) {
+		got = append(got, msg.Args[0])
+		e.Inject(0, 2, msg.Args[0]*2)
+	})
+	done := NewCounter()
+	var reply uint64
+	ep0.On(2, func(e *Env, msg *Msg) {
+		reply = msg.Args[0]
+		done.Add(1)
+	})
+	job.Process(0).StartMain(func(t *Task) {
+		ep0.Env(t).Inject(1, 1, 21)
+		done.WaitFor(t, 1)
+	})
+	m.NewGang(1<<40, 0, job).Start()
+	m.RunUntilDone(0, job)
+
+	if len(got) != 1 || got[0] != 21 {
+		t.Fatalf("received %v, want [21]", got)
+	}
+	if reply != 42 {
+		t.Fatalf("reply = %d, want 42", reply)
+	}
+	if d := job.Delivery(); d.Fast != 2 || d.Buffered != 0 {
+		t.Errorf("delivery = %+v", d)
+	}
+}
+
+// TestFacadeWorkloads builds every exported workload and runs the cheapest
+// end to end through the facade.
+func TestFacadeWorkloads(t *testing.T) {
+	m := NewMachine(DefaultConfig())
+	job := m.NewJob("barrier")
+	app := NewBarrierApp(50)
+	app.Start(m, job)
+	m.NewGang(1<<40, 0, job).Start()
+	m.RunUntilDone(0, job)
+	if !job.Done() {
+		t.Fatal("barrier app did not finish")
+	}
+	if err := app.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Constructors exist and agree with their parameters.
+	if NewEnum(4) == nil || NewSynth(10, 1, 500) == nil ||
+		NewLU(40, 8) == nil || NewWater(64, 1) == nil || NewBarnes(64, 1) == nil {
+		t.Fatal("constructor returned nil")
+	}
+}
+
+// TestFacadeCostModels sanity-checks the exported cost-model entry points.
+func TestFacadeCostModels(t *testing.T) {
+	if Costs(HardAtomicity).RecvIntrTotal() != 87 {
+		t.Error("hard atomicity total != 87")
+	}
+	if Costs(KernelMode).RecvIntrTotal() != 54 {
+		t.Error("kernel total != 54")
+	}
+	if Costs(SoftAtomicity).RecvIntrTotal() != 115 {
+		t.Error("soft total != 115")
+	}
+	if QuickOptions().Quick == DefaultOptions().Quick {
+		t.Error("options presets identical")
+	}
+}

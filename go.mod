@@ -1,0 +1,3 @@
+module fugu
+
+go 1.22

@@ -1,0 +1,131 @@
+package cpu
+
+import (
+	"testing"
+
+	"fugu/internal/sim"
+)
+
+func TestSuspendRunningTask(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, "cpu0")
+	var end uint64
+	tk := c.NewTask("t", PrioUser, DomainUser, func(tk *Task) {
+		tk.Spend(100)
+		end = tk.Now()
+	})
+	e.Schedule(30, func() { tk.Suspend() })
+	e.Schedule(200, func() { tk.Resume() })
+	e.Run()
+	// 30 cycles before suspend, 70 after resuming at 200.
+	if end != 270 {
+		t.Errorf("end = %d, want 270", end)
+	}
+	if tk.Consumed() != 100 {
+		t.Errorf("consumed = %d, want 100", tk.Consumed())
+	}
+}
+
+func TestSuspendReadyTask(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, "cpu0")
+	var order []string
+	a := c.NewTask("a", PrioUser, DomainUser, func(tk *Task) {
+		tk.Spend(50)
+		order = append(order, "a")
+	})
+	b := c.NewTask("b", PrioUser, DomainUser, func(tk *Task) {
+		tk.Spend(10)
+		order = append(order, "b")
+	})
+	_ = a
+	e.Schedule(5, func() { b.Suspend() }) // b is ready, not yet run
+	e.Schedule(100, func() { b.Resume() })
+	e.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Errorf("order = %v, want [a b]", order)
+	}
+}
+
+func TestSuspendBlockedTaskBanksWake(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, "cpu0")
+	q := NewWaitQ("q")
+	var resumed uint64
+	tk := c.NewTask("t", PrioUser, DomainUser, func(tk *Task) {
+		q.Wait(tk)
+		resumed = tk.Now()
+	})
+	e.Schedule(10, func() { tk.Suspend() })
+	e.Schedule(20, func() { q.WakeOne() }) // wake arrives while suspended
+	e.Schedule(100, func() { tk.Resume() })
+	e.Run()
+	if resumed != 100 {
+		t.Errorf("resumed at %d, want 100 (banked wake)", resumed)
+	}
+}
+
+func TestResumeBlockedTaskStaysBlocked(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, "cpu0")
+	q := NewWaitQ("q")
+	var resumed uint64
+	tk := c.NewTask("t", PrioUser, DomainUser, func(tk *Task) {
+		q.Wait(tk)
+		resumed = tk.Now()
+	})
+	e.Schedule(10, func() { tk.Suspend() })
+	e.Schedule(20, func() { tk.Resume() }) // no wake yet: stays blocked
+	e.Schedule(50, func() { q.WakeOne() })
+	e.Run()
+	if resumed != 50 {
+		t.Errorf("resumed at %d, want 50", resumed)
+	}
+}
+
+func TestSuspendIdempotent(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, "cpu0")
+	var end uint64
+	tk := c.NewTask("t", PrioUser, DomainUser, func(tk *Task) {
+		tk.Spend(10)
+		end = tk.Now()
+	})
+	e.Schedule(2, func() { tk.Suspend(); tk.Suspend() })
+	e.Schedule(5, func() { tk.Resume(); tk.Resume() })
+	e.Run()
+	if end != 13 { // 2 done, 8 remaining, resumes at 5
+		t.Errorf("end = %d, want 13", end)
+	}
+}
+
+func TestSuspendLetsOthersRun(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, "cpu0")
+	var otherEnd uint64
+	tk := c.NewTask("hog", PrioUser, DomainUser, func(tk *Task) {
+		tk.Spend(1000)
+	})
+	c.NewTask("other", PrioUser, DomainUser, func(tk *Task) {
+		tk.Spend(10)
+		otherEnd = tk.Now()
+	})
+	e.Schedule(5, func() { tk.Suspend() })
+	e.Schedule(500, func() { tk.Resume() })
+	e.Run()
+	if otherEnd != 15 {
+		t.Errorf("other finished at %d, want 15 (runs while hog suspended)", otherEnd)
+	}
+}
+
+func TestSuspendDoneTaskIsNoop(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, "cpu0")
+	tk := c.NewTask("t", PrioUser, DomainUser, func(tk *Task) { tk.Spend(5) })
+	e.Run()
+	tk.Suspend() // done: must not panic or corrupt anything
+	tk.Resume()
+	if !tk.Done() {
+		t.Error("task not done")
+	}
+}

@@ -1,0 +1,206 @@
+package glaze
+
+import (
+	"fugu/internal/vm"
+)
+
+// swBuffer is a process's virtual software buffer: the slow half of two-case
+// delivery. Messages are stored length-prefixed in a dedicated virtual
+// address space whose physical pages are allocated on demand (virtual
+// buffering), reclaimed as the reader passes them, and — under absolute
+// frame exhaustion — paged out to backing store over the OS network so
+// delivery stays guaranteed.
+type swBuffer struct {
+	space *vm.Space
+	head  uint64 // word address of the next unread message's length word
+	tail  uint64 // word address where the next message will be written
+	count int    // messages resident (pushed, not yet fully consumed)
+
+	// Backing store ("swap"): contents of paged-out buffer pages, keyed by
+	// virtual page number. Reached via the second logical network.
+	swap map[uint64][]uint64
+
+	noReclaim bool // pinned-buffer ablation: never release pages
+
+	inserted   uint64 // lifetime pushes
+	vmallocs   uint64 // pushes that demand-allocated at least one page
+	pageOuts   uint64
+	pageIns    uint64
+	maxPending int // high water of resident (unconsumed) messages
+}
+
+func newSWBuffer(frames *vm.Frames) *swBuffer {
+	return &swBuffer{
+		space: vm.NewSpace(frames),
+		swap:  make(map[uint64][]uint64),
+	}
+}
+
+// pushResult reports what the insert handler must charge for.
+type pushResult struct {
+	newPages int // pages demand-allocated (vmalloc path)
+	pagedOut int // pages evicted to backing store to make room
+}
+
+// push appends a message. It never fails: when the frame pool is exhausted
+// it evicts the oldest fully-written buffer pages ahead of the tail to
+// backing store (the guaranteed-delivery path of Section 4.2).
+func (b *swBuffer) push(words []uint64) pushResult {
+	var res pushResult
+	need := uint64(len(words)) + 1
+	// Ensure residency for every page the record touches.
+	for addr := b.tail; addr < b.tail+need; addr += vm.PageWords {
+		res = b.ensure(addr, res)
+	}
+	res = b.ensure(b.tail+need-1, res)
+	b.space.Write(b.tail, uint64(len(words)))
+	for i, w := range words {
+		b.space.Write(b.tail+1+uint64(i), w)
+	}
+	b.tail += need
+	b.count++
+	b.inserted++
+	if res.newPages > 0 {
+		b.vmallocs++
+	}
+	if b.count > b.maxPending {
+		b.maxPending = b.count
+	}
+	return res
+}
+
+// ensure makes addr's page resident, paging out victims if required.
+func (b *swBuffer) ensure(addr uint64, res pushResult) pushResult {
+	vp := vm.PageOf(addr)
+	if _, swapped := b.swap[vp]; swapped {
+		// Rare: the tail page itself was evicted. Bring it back.
+		res = b.pageIn(vp, res)
+		return res
+	}
+	faulted, ok := b.space.Ensure(addr)
+	for !ok {
+		res = b.evictVictim(res)
+		faulted, ok = b.space.Ensure(addr)
+	}
+	if faulted {
+		res.newPages++
+	}
+	return res
+}
+
+// evictVictim pages out the oldest resident page at or after head that is
+// not the current tail page. Preferring pages closest to the head would
+// evict data about to be read; FUGU's proposal pages out to clear space for
+// the *insert* path, so we take the page just after the reader's current
+// page — it will be needed latest among full pages... in practice the
+// buffer spans few pages and any victim works; we choose the lowest-numbered
+// resident page that is not the head page and not the tail page, falling
+// back to the head page.
+func (b *swBuffer) evictVictim(res pushResult) pushResult {
+	headVp := vm.PageOf(b.head)
+	tailVp := vm.PageOf(b.tail)
+	for vp := headVp; vp <= tailVp; vp++ {
+		if vp == tailVp {
+			break
+		}
+		if vp == headVp && headVp+1 <= tailVp {
+			continue // prefer not to evict the page being read
+		}
+		if words := b.space.Evict(vp * vm.PageWords); words != nil {
+			b.swap[vp] = words
+			b.pageOuts++
+			res.pagedOut++
+			return res
+		}
+	}
+	// Fall back to the head page itself.
+	if words := b.space.Evict(headVp * vm.PageWords); words != nil {
+		b.swap[headVp] = words
+		b.pageOuts++
+		res.pagedOut++
+		return res
+	}
+	panic("glaze: buffer has no evictable page but pool is exhausted")
+}
+
+// pageIn restores a swapped page, evicting something else if necessary.
+func (b *swBuffer) pageIn(vp uint64, res pushResult) pushResult {
+	words := b.swap[vp]
+	delete(b.swap, vp)
+	for !b.space.Install(vp*vm.PageWords, words) {
+		res = b.evictVictim(res)
+	}
+	b.pageIns++
+	return res
+}
+
+// empty reports whether all pushed messages have been consumed.
+func (b *swBuffer) empty() bool { return b.count == 0 }
+
+// headLen returns the length of the message at the head. The head page may
+// have been paged out; pagedIn reports the restore (caller charges PageIn).
+func (b *swBuffer) headLen() (n int, pagedIn int) {
+	pagedIn = b.touch(b.head)
+	return int(b.space.Read(b.head)), pagedIn
+}
+
+// headWord returns word i of the head message, restoring pages as needed.
+func (b *swBuffer) headWord(i int) (w uint64, pagedIn int) {
+	addr := b.head + 1 + uint64(i)
+	pagedIn = b.touch(addr)
+	return b.space.Read(addr), pagedIn
+}
+
+// touch makes addr resident, returning how many pages were paged in.
+func (b *swBuffer) touch(addr uint64) int {
+	vp := vm.PageOf(addr)
+	if _, swapped := b.swap[vp]; !swapped {
+		return 0
+	}
+	res := b.pageIn(vp, pushResult{})
+	return 1 + res.pagedOut // paging in may itself have evicted
+}
+
+// pop consumes the head message, unmapping buffer pages wholly behind the
+// reader so physical consumption tracks the live window.
+func (b *swBuffer) pop() {
+	if b.count == 0 {
+		panic("glaze: pop from empty software buffer")
+	}
+	n, _ := b.headLen()
+	b.head += uint64(n) + 1
+	b.count--
+	if b.noReclaim {
+		return
+	}
+	// Reclaim pages fully consumed: every page strictly below the head's
+	// current page holds only read data.
+	for vp := vm.PageOf(b.head); vp > 0; {
+		prev := vp - 1
+		if words := b.space.Evict(prev * vm.PageWords); words == nil {
+			// Not resident: maybe swapped; drop swap copies too.
+			if _, ok := b.swap[prev]; ok {
+				delete(b.swap, prev)
+				vp = prev
+				continue
+			}
+			break
+		}
+		vp = prev
+	}
+	if b.count == 0 {
+		// Fully drained: release everything, including the page under the
+		// head/tail cursor.
+		b.space.Release()
+		for vp := range b.swap {
+			delete(b.swap, vp)
+		}
+	}
+}
+
+// pagesResident returns physical pages currently consumed by the buffer.
+func (b *swBuffer) pagesResident() int { return b.space.PagesMapped() }
+
+// PagesHighWater returns the most physical pages the buffer ever held —
+// the per-node metric behind the paper's "less than seven pages/node".
+func (b *swBuffer) PagesHighWater() int { return b.space.HighWater() }

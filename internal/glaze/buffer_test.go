@@ -1,0 +1,229 @@
+package glaze
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fugu/internal/vm"
+)
+
+func TestBufferPushPop(t *testing.T) {
+	b := newSWBuffer(vm.NewFrames(16))
+	b.push([]uint64{1, 2, 3})
+	b.push([]uint64{4, 5})
+	if b.count != 2 {
+		t.Fatalf("count = %d, want 2", b.count)
+	}
+	if n, _ := b.headLen(); n != 3 {
+		t.Errorf("head len = %d, want 3", n)
+	}
+	if w, _ := b.headWord(2); w != 3 {
+		t.Errorf("head word 2 = %d, want 3", w)
+	}
+	b.pop()
+	if n, _ := b.headLen(); n != 2 {
+		t.Errorf("second head len = %d, want 2", n)
+	}
+	if w, _ := b.headWord(0); w != 4 {
+		t.Errorf("second head word 0 = %d, want 4", w)
+	}
+	b.pop()
+	if !b.empty() {
+		t.Error("buffer not empty after draining")
+	}
+}
+
+func TestBufferFirstPushAllocates(t *testing.T) {
+	f := vm.NewFrames(16)
+	b := newSWBuffer(f)
+	res := b.push([]uint64{1})
+	if res.newPages != 1 {
+		t.Errorf("newPages = %d, want 1 (vmalloc path)", res.newPages)
+	}
+	res = b.push([]uint64{2})
+	if res.newPages != 0 {
+		t.Errorf("second push newPages = %d, want 0 (existing page)", res.newPages)
+	}
+	if b.vmallocs != 1 {
+		t.Errorf("vmallocs = %d, want 1", b.vmallocs)
+	}
+}
+
+func TestBufferPageReclamation(t *testing.T) {
+	f := vm.NewFrames(64)
+	b := newSWBuffer(f)
+	// Push enough small messages to span several pages, consuming as we go:
+	// resident pages must stay low because passed pages are reclaimed.
+	msg := make([]uint64, 63) // 64 words per record
+	maxResident := 0
+	for i := 0; i < 200; i++ {
+		b.push(msg)
+		if r := b.pagesResident(); r > maxResident {
+			maxResident = r
+		}
+		b.pop()
+	}
+	if maxResident > 2 {
+		t.Errorf("max resident pages = %d, want <= 2 with immediate draining", maxResident)
+	}
+	if b.pagesResident() != 0 {
+		t.Errorf("resident after full drain = %d, want 0", b.pagesResident())
+	}
+	if f.InUse() != 0 {
+		t.Errorf("frames in use after drain = %d, want 0", f.InUse())
+	}
+}
+
+func TestBufferHighWaterTracksBacklog(t *testing.T) {
+	b := newSWBuffer(vm.NewFrames(64))
+	msg := make([]uint64, 255) // 256-word records: 4 per page
+	for i := 0; i < 16; i++ {
+		b.push(msg) // 16 records = 4 pages
+	}
+	if hw := b.PagesHighWater(); hw < 4 {
+		t.Errorf("high water = %d, want >= 4", hw)
+	}
+	for i := 0; i < 16; i++ {
+		b.pop()
+	}
+	if b.pagesResident() != 0 {
+		t.Errorf("resident = %d after drain", b.pagesResident())
+	}
+}
+
+func TestBufferPageOutUnderExhaustion(t *testing.T) {
+	f := vm.NewFrames(3)
+	b := newSWBuffer(f)
+	msg := make([]uint64, 511) // 512-word records: 2 per page
+	// 10 records need 5 pages; only 3 frames exist, so pushes must evict.
+	for i := 0; i < 10; i++ {
+		for j := range msg {
+			msg[j] = uint64(i*1000 + j)
+		}
+		b.push(msg)
+	}
+	if b.pageOuts == 0 {
+		t.Fatal("no page-outs despite frame exhaustion")
+	}
+	// Every record must read back intact, paging back in as needed.
+	for i := 0; i < 10; i++ {
+		n, _ := b.headLen()
+		if n != 511 {
+			t.Fatalf("record %d len = %d", i, n)
+		}
+		for _, j := range []int{0, 255, 510} {
+			w, _ := b.headWord(j)
+			if w != uint64(i*1000+j) {
+				t.Fatalf("record %d word %d = %d, want %d", i, j, w, i*1000+j)
+			}
+		}
+		b.pop()
+	}
+	if b.pageIns == 0 {
+		t.Error("no page-ins recorded")
+	}
+	if !b.empty() {
+		t.Error("buffer not empty")
+	}
+}
+
+// Property: any sequence of variable-length pushes followed by interleaved
+// pops delivers exactly the pushed contents in FIFO order, under a tight
+// frame pool.
+func TestBufferFIFOProperty(t *testing.T) {
+	prop := func(lens []uint16, seed uint64) bool {
+		if len(lens) == 0 {
+			return true
+		}
+		f := vm.NewFrames(4)
+		b := newSWBuffer(f)
+		type rec struct{ first, last, n uint64 }
+		var want []rec
+		pushed := 0
+		for i, l := range lens {
+			n := uint64(l%600) + 1
+			words := make([]uint64, n)
+			words[0] = uint64(i) ^ seed
+			words[n-1] = uint64(i) * 7
+			b.push(words)
+			want = append(want, rec{words[0], words[n-1], n})
+			pushed++
+			// Interleave pops.
+			if i%3 == 2 && b.count > 1 {
+				r := want[0]
+				want = want[1:]
+				if got, _ := b.headLen(); uint64(got) != r.n {
+					return false
+				}
+				if w, _ := b.headWord(0); w != r.first {
+					return false
+				}
+				if w, _ := b.headWord(int(r.n - 1)); w != r.last {
+					return false
+				}
+				b.pop()
+			}
+		}
+		for _, r := range want {
+			if got, _ := b.headLen(); uint64(got) != r.n {
+				return false
+			}
+			if w, _ := b.headWord(0); w != r.first {
+				return false
+			}
+			if w, _ := b.headWord(int(r.n - 1)); w != r.last {
+				return false
+			}
+			b.pop()
+		}
+		return b.empty() && f.InUse() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostModelMatchesTable4(t *testing.T) {
+	cases := []struct {
+		impl                 AtomicityImpl
+		pre, intrTotal, poll uint64
+	}{
+		{KernelMode, 32, 54, 9},
+		{HardAtomicity, 54, 87, 9},
+		{SoftAtomicity, 66, 115, 9},
+	}
+	for _, c := range cases {
+		cm := Costs(c.impl)
+		if got := cm.RecvIntrPre(); got != c.pre {
+			t.Errorf("%v RecvIntrPre = %d, want %d", c.impl, got, c.pre)
+		}
+		if got := cm.RecvIntrTotal(); got != c.intrTotal {
+			t.Errorf("%v RecvIntrTotal = %d, want %d", c.impl, got, c.intrTotal)
+		}
+		if got := cm.RecvPollTotal(); got != c.poll {
+			t.Errorf("%v RecvPollTotal = %d, want %d", c.impl, got, c.poll)
+		}
+		if got := cm.SendCost(0); got != 7 {
+			t.Errorf("%v SendCost(0) = %d, want 7", c.impl, got)
+		}
+		if got := cm.SendCost(4); got != 19 {
+			t.Errorf("%v SendCost(4) = %d, want 19", c.impl, got)
+		}
+	}
+}
+
+func TestCostModelMatchesTable5(t *testing.T) {
+	cm := Costs(SoftAtomicity)
+	if cm.BufferInsertMin != 180 || cm.BufferInsertVMAlloc != 3162 {
+		t.Errorf("insert costs = %d/%d, want 180/3162", cm.BufferInsertMin, cm.BufferInsertVMAlloc)
+	}
+	if got := cm.BufferedExtract(0); got != 52 {
+		t.Errorf("BufferedExtract(0) = %d, want 52", got)
+	}
+	if got := cm.BufferedExtract(4); got != 70 {
+		t.Errorf("BufferedExtract(4) = %d, want 70 (52 + 4*4.5)", got)
+	}
+	if got := cm.BufferedMinTotal(); got != 232 {
+		t.Errorf("BufferedMinTotal = %d, want 232", got)
+	}
+}

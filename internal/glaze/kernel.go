@@ -1,0 +1,442 @@
+package glaze
+
+import (
+	"fmt"
+
+	"fugu/internal/cpu"
+	"fugu/internal/mesh"
+	"fugu/internal/nic"
+	"fugu/internal/trace"
+	"fugu/internal/vm"
+)
+
+// nullGID is installed in the NI while no process is resident, so every
+// arriving user message mismatches and is buffered for its real owner.
+const nullGID nic.GID = 0xfffe
+
+// OS-network control operations (word 1 of kernel packets on the second
+// logical network).
+const (
+	osOpSuspendJob uint64 = iota + 1
+	osOpResumeJob
+)
+
+// Kernel is one node's Glaze instance: interrupt handlers, the two-case
+// delivery transitions, virtual buffer management and the context-switch
+// machinery the gang scheduler drives.
+type Kernel struct {
+	m      *Machine
+	node   int
+	cpu    *cpu.CPU
+	ni     *nic.NI
+	frames *vm.Frames
+	cost   CostModel
+
+	procs map[nic.GID]*Process
+	// current is the resident process (nil while the null slot runs).
+	current *Process
+
+	mismatchIRQ *cpu.IRQ
+	timeoutIRQ  *cpu.IRQ
+	gangIRQ     *cpu.IRQ
+	osIRQ       *cpu.IRQ
+
+	switchTarget *Process // argument for the next gangIRQ service
+	switchValid  bool
+
+	osQueue []*mesh.Packet
+
+	// Statistics.
+	Inserts        uint64 // buffer insertions performed
+	InsertVMAllocs uint64
+	StrayMessages  uint64 // messages for unknown GIDs (dropped)
+	KernelMsgs     uint64
+	OverflowTrips  uint64
+}
+
+func newKernel(m *Machine, node int) *Kernel {
+	k := &Kernel{
+		m:      m,
+		node:   node,
+		cpu:    m.Nodes[node].CPU,
+		ni:     m.Nodes[node].NI,
+		frames: m.Nodes[node].Frames,
+		cost:   m.cost,
+		procs:  make(map[nic.GID]*Process),
+	}
+	k.ni.SetGID(nullGID)
+	k.mismatchIRQ = k.cpu.NewIRQ(fmt.Sprintf("mismatch%d", node), k.mismatchISR)
+	k.timeoutIRQ = k.cpu.NewIRQ(fmt.Sprintf("timeout%d", node), k.timeoutISR)
+	k.gangIRQ = k.cpu.NewIRQ(fmt.Sprintf("gang%d", node), k.gangISR)
+	k.osIRQ = k.cpu.NewIRQ(fmt.Sprintf("osnet%d", node), k.osISR)
+	k.ni.SetInterrupts(nic.Interrupts{
+		MessageAvailable: func() {
+			// The user-level interrupt: dispatch the resident process's
+			// message-handling activity. Costs are charged there.
+			if k.current != nil {
+				k.current.SignalUpcall()
+			}
+		},
+		MismatchAvailable: func() { k.mismatchIRQ.Raise() },
+		AtomicityTimeout:  func() { k.timeoutIRQ.Raise() },
+	})
+	m.Net.Register(node, mesh.OS, (*osEndpoint)(k))
+	return k
+}
+
+// Node returns the node this kernel manages.
+func (k *Kernel) Node() int { return k.node }
+
+// Current returns the resident process, nil during a null slot.
+func (k *Kernel) Current() *Process { return k.current }
+
+// Cost returns the kernel's cost model.
+func (k *Kernel) Cost() CostModel { return k.cost }
+
+// Machine returns the machine this kernel belongs to.
+func (k *Kernel) Machine() *Machine { return k.m }
+
+// MismatchConsumed reports total cycles spent in the buffer-insertion
+// (mismatch-available) handler — Table 5's insert-cost numerator.
+func (k *Kernel) MismatchConsumed() uint64 { return k.mismatchIRQ.Task().Consumed() }
+
+// CPU returns the node's processor.
+func (k *Kernel) CPU() *cpu.CPU { return k.cpu }
+
+// ---------------------------------------------------------------------------
+// Interrupt service routines
+
+// mismatchISR implements the kernel's demultiplexer: every head message that
+// is not the resident user's business — mismatched GID, kernel message, or
+// anything under divert-mode — is moved into its owner's virtual buffer.
+func (k *Kernel) mismatchISR(t *cpu.Task) {
+	for {
+		pkt := k.ni.HeadPacket()
+		if pkt == nil {
+			return
+		}
+		h := pkt.Words[0]
+		if !k.ni.Divert() && !nic.HeaderIsKernel(h) && nic.HeaderGID(h) == k.ni.GID() {
+			// The head now belongs to the resident user: theirs to take.
+			return
+		}
+		if nic.HeaderIsKernel(h) {
+			k.KernelMsgs++
+			t.Spend(k.cost.BufferInsertMin) // treat as a short kernel handler
+			k.ni.KDispose()
+			continue
+		}
+		p := k.procs[nic.HeaderGID(h)]
+		if p == nil {
+			// A message for no process on this node: a protection event.
+			// FUGU notifies the global scheduler about the offender; we
+			// count and drop.
+			k.StrayMessages++
+			t.Spend(k.cost.BufferInsertMin)
+			k.ni.KDispose()
+			continue
+		}
+		k.bufferInsert(t, p, pkt.Words)
+		k.ni.KDispose()
+	}
+}
+
+// bufferInsert copies one message into p's virtual buffer, charging the
+// Table 5 costs, and performs the overflow-control checks.
+func (k *Kernel) bufferInsert(t *cpu.Task, p *Process, words []uint64) {
+	res := p.buf.push(words)
+	cost := k.cost.BufferInsertMin
+	if res.newPages > 0 {
+		cost = k.cost.BufferInsertVMAlloc
+	}
+	cost += k.cost.ExtraBufferCost
+	cost += k.cost.PageOut * uint64(res.pagedOut)
+	t.Spend(cost)
+	k.Inserts++
+	if res.newPages > 0 {
+		k.InsertVMAllocs++
+	}
+	p.Deliv.Buffered++
+	if !p.buffered {
+		p.buffered = true
+		k.m.Trace.Add(k.m.Eng.Now(), k.node, trace.Mode, "enter buffered %s (insert)", p.job.name)
+		if p.scheduled {
+			k.ni.SetDivert(true)
+		}
+	}
+	if p.scheduled && !p.atomicVirtual {
+		p.SignalUpcall()
+	}
+	k.checkOverflow(t, p)
+}
+
+// timeoutISR implements revocation: the user held the network too long, so
+// physical atomicity becomes virtual atomicity and delivery shifts to the
+// buffered path.
+func (k *Kernel) timeoutISR(t *cpu.Task) {
+	p := k.current
+	if p == nil || p.buffered {
+		return // stale timeout (mode already shifted)
+	}
+	t.Spend(k.cost.RevokeCost)
+	k.m.Trace.Add(k.m.Eng.Now(), k.node, trace.Mode, "revoke %s (uac=%#x)", p.job.name, k.ni.UAC())
+	p.Revocations++
+	p.buffered = true
+	// If the user was inside an atomic section (it was, or the timer would
+	// not have run), buffered delivery is deferred until the section ends;
+	// the endatom traps so the kernel notices.
+	p.atomicVirtual = k.ni.UAC()&(nic.UACInterruptDisable|nic.UACTimerForce) != 0
+	if p.atomicVirtual {
+		k.ni.SetUACKernel(nic.UACAtomicityExtend, true)
+	}
+	k.ni.SetDivert(true)
+	// The stuck head re-evaluates as a mismatch and the drain begins.
+}
+
+// gangISR performs the context switch the gang scheduler requested.
+func (k *Kernel) gangISR(t *cpu.Task) {
+	if !k.switchValid {
+		return
+	}
+	target := k.switchTarget
+	k.switchTarget = nil
+	k.switchValid = false
+	k.contextSwitchTo(t, target)
+}
+
+// contextSwitchTo makes p (nil for the null slot) the resident process.
+func (k *Kernel) contextSwitchTo(t *cpu.Task, p *Process) {
+	if k.current == p {
+		return
+	}
+	if k.m.Trace.Enabled(trace.Sched) {
+		name := "null"
+		if p != nil {
+			name = p.job.name
+		}
+		k.m.Trace.Add(k.m.Eng.Now(), k.node, trace.Sched, "switch to %s", name)
+	}
+	t.Spend(k.cost.ContextSwitch)
+	if old := k.current; old != nil {
+		old.uacShadow = k.ni.UAC()
+		old.descShadow = k.ni.ClearDescriptor()
+		old.scheduled = false
+		old.suspendTasks()
+	}
+	k.current = p
+	if p == nil {
+		k.ni.ClearUAC()
+		k.ni.SetGID(nullGID)
+		k.ni.SetDivert(false)
+		return
+	}
+	p.scheduled = true
+	k.ni.SetGID(p.gid)
+	k.ni.RestoreUAC(p.uacShadow)
+	if len(p.descShadow) > 0 {
+		k.ni.Describe(p.descShadow...)
+		p.descShadow = nil
+	}
+	// Transparency at quantum start: a process with buffered messages
+	// resumes in buffered mode and drains before touching the NI.
+	k.ni.SetDivert(p.buffered)
+	p.resumeTasks()
+	if p.buffered && !p.buf.empty() && !p.atomicVirtual {
+		p.SignalUpcall()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Trap handling (entered synchronously from udm, in the user task's context)
+
+// UserDispose performs the user dispose operation with full trap semantics.
+// In the fast case the NI frees the message; under divert the kernel
+// emulates disposal from the software buffer (the dispose-extend path).
+func (k *Kernel) UserDispose(t *cpu.Task, p *Process) {
+	switch trap := k.ni.Dispose(); trap {
+	case nic.TrapNone:
+		return
+	case nic.TrapDisposeExtend:
+		k.disposeExtend(t, p)
+	case nic.TrapBadDispose:
+		panic(fmt.Sprintf("glaze: %s disposed with no message available", p.job.name))
+	default:
+		panic(fmt.Sprintf("glaze: unexpected dispose trap %v", trap))
+	}
+}
+
+// disposeExtend emulates disposal from the software buffer, including the
+// side effect of the hardware dispose: dispose-pending clears, so a handler
+// that freed its message through the emulation can exit its atomic section.
+func (k *Kernel) disposeExtend(t *cpu.Task, p *Process) {
+	k.ni.SetUACKernel(nic.UACDisposePending, false)
+	p.buf.pop()
+	if p.buf.empty() {
+		k.exitBuffered(t, p)
+	}
+	k.maybeLiftOverflow(p)
+}
+
+// UserEndAtom performs endatom with trap handling: atomicity-extend returns
+// control here so virtual atomicity can be dissolved; dispose-failure means
+// the handler broke the discipline and is fatal, as in FUGU.
+func (k *Kernel) UserEndAtom(t *cpu.Task, p *Process, mask uint8) {
+	switch trap := k.ni.EndAtom(mask, false); trap {
+	case nic.TrapNone:
+		// Leaving an atomic section in buffered mode releases deferred
+		// messages to the message-handling activity.
+		if p.buffered && !p.buf.empty() {
+			p.SignalUpcall()
+		}
+		return
+	case nic.TrapAtomicityExtend:
+		k.atomicityExtend(t, p, mask)
+	case nic.TrapDisposeFailure:
+		panic(fmt.Sprintf("glaze: %s handler exited atomic section without disposing", p.job.name))
+	default:
+		panic(fmt.Sprintf("glaze: unexpected endatom trap %v", trap))
+	}
+}
+
+// atomicityExtend ends a virtually-atomic section: the suspended or polling
+// thread has released atomicity, so deferred buffered messages may now be
+// delivered by the message-handling activity.
+func (k *Kernel) atomicityExtend(t *cpu.Task, p *Process, mask uint8) {
+	p.atomicVirtual = false
+	k.ni.SetUACKernel(nic.UACAtomicityExtend, false)
+	if trap := k.ni.EndAtom(mask, false); trap != nic.TrapNone {
+		panic(fmt.Sprintf("glaze: endatom retry trapped %v", trap))
+	}
+	if p.buffered && !p.buf.empty() {
+		p.SignalUpcall()
+	}
+}
+
+// exitBuffered returns a drained process to direct delivery. Under the
+// one-case ablation there is no direct delivery to return to.
+func (k *Kernel) exitBuffered(t *cpu.Task, p *Process) {
+	if k.m.alwaysBuffered {
+		return
+	}
+	k.m.Trace.Add(k.m.Eng.Now(), k.node, trace.Mode, "exit buffered %s", p.job.name)
+	p.buffered = false
+	p.atomicVirtual = false
+	if p.scheduled {
+		k.ni.SetUACKernel(nic.UACAtomicityExtend, false)
+		k.ni.SetDivert(false)
+		// Messages still queued in the NI re-evaluate: if the head is the
+		// user's it raises message-available and the fast path resumes.
+	}
+}
+
+// Touch services a user access to addr in p's data space, modelling demand
+// zero-fill faults. inHandler marks accesses from a message handler: a
+// fault there forces the transition to buffered mode (Section 4.3), since
+// the handler blocks the network while the kernel services it.
+func (k *Kernel) Touch(t *cpu.Task, p *Process, addr uint64, inHandler bool) {
+	faulted, ok := p.Space.Ensure(addr)
+	if !faulted {
+		return
+	}
+	if !ok {
+		panic("glaze: data page fault with exhausted frame pool (overflow control failed)")
+	}
+	t.Spend(k.cost.FaultService)
+	if inHandler {
+		p.FaultsInHandler++
+		if !p.buffered {
+			p.buffered = true
+			p.atomicVirtual = true // the faulting handler holds atomicity
+			k.ni.SetUACKernel(nic.UACAtomicityExtend, true)
+			k.ni.SetDivert(true)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Overflow control
+
+// overflow thresholds as fractions of the node's frame pool.
+const (
+	overflowHighFrac = 0.85 // trip when in-use frames exceed this
+	overflowLowFrac  = 0.50 // recover below this
+)
+
+// checkOverflow trips the overflow-control mechanism: the offending job is
+// globally suspended (senders stall) via the OS network and the scheduler is
+// advised to gang-schedule it so it drains.
+func (k *Kernel) checkOverflow(t *cpu.Task, p *Process) {
+	if p.job.overflowed {
+		return
+	}
+	if float64(k.frames.InUse()) < overflowHighFrac*float64(k.frames.Total()) {
+		return
+	}
+	k.OverflowTrips++
+	k.m.Trace.Add(k.m.Eng.Now(), k.node, trace.Overflow, "trip %s: %d/%d frames",
+		p.job.name, k.frames.InUse(), k.frames.Total())
+	p.job.overflowed = true
+	k.broadcastOS(osOpSuspendJob, uint64(p.gid))
+	if k.m.Gang != nil {
+		k.m.Gang.Prefer(p.job)
+	}
+}
+
+// maybeLiftOverflow reverses overflow control once pressure subsides.
+func (k *Kernel) maybeLiftOverflow(p *Process) {
+	if !p.job.overflowed {
+		return
+	}
+	if float64(k.frames.InUse()) > overflowLowFrac*float64(k.frames.Total()) && !p.buf.empty() {
+		return
+	}
+	p.job.overflowed = false
+	k.m.Trace.Add(k.m.Eng.Now(), k.node, trace.Overflow, "release %s", p.job.name)
+	k.broadcastOS(osOpResumeJob, uint64(p.gid))
+	if k.m.Gang != nil {
+		k.m.Gang.Unprefer(p.job)
+	}
+}
+
+// broadcastOS sends a control operation to every node (including this one)
+// on the reserved OS network — the guaranteed, deadlock-free path.
+func (k *Kernel) broadcastOS(op, arg uint64) {
+	for n := 0; n < k.m.Net.Nodes(); n++ {
+		k.m.Net.Send(mesh.OS, k.node, n, []uint64{nic.MakeKernelHeader(n), op, arg})
+	}
+}
+
+// osEndpoint adapts Kernel to mesh.Endpoint for the OS network without
+// colliding with the NI's main-network endpoint.
+type osEndpoint Kernel
+
+// Arrive queues an OS-network packet; the kernel's OS ISR services it.
+func (oe *osEndpoint) Arrive(pkt *mesh.Packet) bool {
+	k := (*Kernel)(oe)
+	k.osQueue = append(k.osQueue, pkt)
+	k.osIRQ.Raise()
+	return true
+}
+
+// osISR handles one queued OS-network control message.
+func (k *Kernel) osISR(t *cpu.Task) {
+	if len(k.osQueue) == 0 {
+		return
+	}
+	pkt := k.osQueue[0]
+	copy(k.osQueue, k.osQueue[1:])
+	k.osQueue = k.osQueue[:len(k.osQueue)-1]
+	t.Spend(k.cost.BufferInsertMin) // nominal handler cost
+	op, arg := pkt.Words[1], pkt.Words[2]
+	p := k.procs[nic.GID(arg)]
+	if p == nil {
+		return
+	}
+	switch op {
+	case osOpSuspendJob:
+		p.throttled = true
+	case osOpResumeJob:
+		p.throttled = false
+		p.throttleW.WakeAll()
+	}
+}

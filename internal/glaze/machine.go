@@ -1,0 +1,152 @@
+package glaze
+
+import (
+	"fmt"
+
+	"fugu/internal/cpu"
+	"fugu/internal/mesh"
+	"fugu/internal/nic"
+	"fugu/internal/sim"
+	"fugu/internal/trace"
+	"fugu/internal/vm"
+)
+
+// Config parameterizes a simulated FUGU machine.
+type Config struct {
+	W, H          int // mesh dimensions
+	Seed          uint64
+	Cost          CostModel
+	NIConfig      nic.Config
+	Latency       mesh.LatencyModel
+	FramesPerNode int
+
+	// AlwaysBuffered disables the fast case entirely: every message is
+	// delivered through the software buffer, the SUNMOS-style one-case
+	// organization the paper contrasts against (ablation knob).
+	AlwaysBuffered bool
+	// NoBufferReclaim pins buffer pages: consumed pages are never returned
+	// to the frame pool, modelling a pinned-buffer design against which
+	// virtual buffering's physical-memory advantage is measured.
+	NoBufferReclaim bool
+}
+
+// DefaultConfig returns the configuration the experiments use: eight nodes
+// (4x2, as in the paper's simulated system), soft-atomicity costs and a
+// 1024-frame (4 MB) pool per node.
+func DefaultConfig() Config {
+	return Config{
+		W: 4, H: 2,
+		Seed:          1,
+		Cost:          Costs(SoftAtomicity),
+		NIConfig:      nic.DefaultConfig(),
+		Latency:       mesh.DefaultLatency(),
+		FramesPerNode: 1024,
+	}
+}
+
+// Node bundles one node's hardware and kernel.
+type Node struct {
+	Index  int
+	CPU    *cpu.CPU
+	NI     *nic.NI
+	Frames *vm.Frames
+	Kernel *Kernel
+}
+
+// Machine is a simulated FUGU multiprocessor.
+type Machine struct {
+	Eng   *sim.Engine
+	Net   *mesh.Net
+	Nodes []*Node
+	Gang  *Gang
+
+	cost    CostModel
+	nextGID nic.GID
+	jobs    []*Job
+
+	alwaysBuffered bool
+	noReclaim      bool
+
+	// Trace is an optional event log; nil (the default) records nothing.
+	// Enable categories before running: m.Trace = trace.New(4096);
+	// m.Trace.Enable(trace.Mode, trace.Overflow).
+	Trace *trace.Log
+}
+
+// NewMachine builds the machine: engine, mesh, per-node CPU, NI, frame pool
+// and kernel, all wired together.
+func NewMachine(cfg Config) *Machine {
+	eng := sim.NewEngine(cfg.Seed)
+	m := &Machine{
+		Eng:            eng,
+		Net:            mesh.New(eng, cfg.W, cfg.H, cfg.Latency),
+		cost:           cfg.Cost,
+		nextGID:        1,
+		alwaysBuffered: cfg.AlwaysBuffered,
+		noReclaim:      cfg.NoBufferReclaim,
+	}
+	n := cfg.W * cfg.H
+	m.Nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		node := &Node{
+			Index:  i,
+			CPU:    cpu.New(eng, fmt.Sprintf("cpu%d", i)),
+			Frames: vm.NewFrames(cfg.FramesPerNode),
+		}
+		node.NI = nic.New(eng, m.Net, i, cfg.NIConfig)
+		node.NI.AttachCPU(node.CPU)
+		m.Nodes[i] = node
+	}
+	for i := 0; i < n; i++ {
+		m.Nodes[i].Kernel = newKernel(m, i)
+	}
+	return m
+}
+
+// Cost returns the machine's cost model.
+func (m *Machine) Cost() CostModel { return m.cost }
+
+// NewJob creates a gang-scheduled job with one process per node.
+func (m *Machine) NewJob(name string) *Job {
+	j := &Job{m: m, name: name, gid: m.nextGID}
+	m.nextGID++
+	if m.nextGID >= nullGID {
+		panic("glaze: GID space exhausted")
+	}
+	j.procs = make([]*Process, len(m.Nodes))
+	for i, node := range m.Nodes {
+		p := newProcess(node.Kernel, j, j.gid)
+		node.Kernel.procs[j.gid] = p
+		j.procs[i] = p
+	}
+	m.jobs = append(m.jobs, j)
+	return j
+}
+
+// Jobs returns every job created on the machine.
+func (m *Machine) Jobs() []*Job { return m.jobs }
+
+// RunUntilDone starts the engine and stops it once every listed job
+// completes (or the optional cycle limit is hit; 0 means none). It returns
+// the stop time.
+func (m *Machine) RunUntilDone(limit uint64, jobs ...*Job) uint64 {
+	remaining := 0
+	for _, j := range jobs {
+		if !j.Done() {
+			remaining++
+			j.OnDone(func() {
+				remaining--
+				if remaining == 0 {
+					m.Eng.Stop()
+				}
+			})
+		}
+	}
+	if remaining == 0 {
+		return m.Eng.Now()
+	}
+	if limit != 0 {
+		return m.Eng.RunUntil(m.Eng.Now() + limit)
+	}
+	return m.Eng.Run()
+}

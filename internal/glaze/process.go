@@ -1,0 +1,348 @@
+package glaze
+
+import (
+	"fmt"
+
+	"fugu/internal/cpu"
+	"fugu/internal/nic"
+	"fugu/internal/stats"
+	"fugu/internal/vm"
+)
+
+// Process is the kernel's per-node state for one member of a gang-scheduled
+// job: its tasks, its virtual software buffer, its address space, and the
+// shadow copies of NI state swapped on context switches.
+type Process struct {
+	kern *Kernel
+	job  *Job
+	gid  nic.GID
+	node int
+
+	// Tasks. main runs the application; upcall is the message-handling
+	// activity: the user-level interrupt in fast mode and the elevated
+	// drain thread in buffered mode.
+	main    *cpu.Task
+	upcall  *cpu.Task
+	upcallW *cpu.WaitQ
+	extra   []*cpu.Task // threads spawned by the application
+
+	// Upcall is installed by the user-level runtime (the udm package): it
+	// delivers every message it can and returns. The kernel signals the
+	// upcall task whenever deliverable work may exist.
+	Upcall func(t *cpu.Task)
+
+	// Mode state.
+	upcallPending bool // a SignalUpcall has not yet been consumed
+	buffered      bool // software-buffered delivery engaged
+	atomicVirtual bool // revoked during a user atomic section: delivery
+	// is deferred to the suspended thread until it ends its section.
+
+	// NI state shadow (context switch).
+	uacShadow  uint8
+	descShadow []uint64
+
+	scheduled bool // currently owns the node's NI (is the resident process)
+
+	// Address space for ordinary data pages (handler page-fault modelling).
+	Space *vm.Space
+
+	buf *swBuffer
+
+	// Overflow control: while throttled, the process's sends stall.
+	throttled bool
+	throttleW *cpu.WaitQ
+
+	// Statistics.
+	Deliv           stats.Delivery
+	Revocations     uint64 // atomicity timeouts against this process
+	FaultsInHandler uint64
+}
+
+func newProcess(k *Kernel, job *Job, gid nic.GID) *Process {
+	p := &Process{
+		kern:      k,
+		job:       job,
+		gid:       gid,
+		node:      k.node,
+		upcallW:   cpu.NewWaitQ("upcall"),
+		throttleW: cpu.NewWaitQ("throttle"),
+		Space:     vm.NewSpace(k.frames),
+		buf:       newSWBuffer(k.frames),
+	}
+	p.upcall = k.cpu.NewTask(
+		fmt.Sprintf("%s.%d.upcall", job.name, k.node),
+		cpu.PrioHandler, cpu.DomainUser,
+		func(t *cpu.Task) {
+			for {
+				// Level-triggered: consume the pending mark before
+				// delivering, and only sleep once no signal remains, so a
+				// signal raised while the task was running (or before it
+				// ever reached the wait queue) is never lost.
+				for p.upcallPending {
+					p.upcallPending = false
+					if p.Upcall != nil {
+						p.Upcall(t)
+					}
+				}
+				p.upcallW.Wait(t)
+			}
+		})
+	p.upcall.Suspend() // runs only while the process is scheduled
+	if k.m.alwaysBuffered {
+		p.buffered = true
+	}
+	if k.m.noReclaim {
+		p.buf.noReclaim = true
+	}
+	return p
+}
+
+// Job returns the job this process belongs to.
+func (p *Process) Job() *Job { return p.job }
+
+// GID returns the process's group identifier.
+func (p *Process) GID() nic.GID { return p.gid }
+
+// Node returns the node this process runs on.
+func (p *Process) Node() int { return p.node }
+
+// Kernel returns the node kernel managing this process.
+func (p *Process) Kernel() *Kernel { return p.kern }
+
+// NI returns the node's network interface. User-level code accesses it
+// directly in the fast case — that is the whole point of the paper.
+func (p *Process) NI() *nic.NI { return p.kern.ni }
+
+// Buffered reports whether the process is in software-buffered mode.
+func (p *Process) Buffered() bool { return p.buffered }
+
+// Scheduled reports whether the process currently owns the node.
+func (p *Process) Scheduled() bool { return p.scheduled }
+
+// BufferPagesHighWater reports the most physical pages the process's
+// virtual buffer ever consumed on this node.
+func (p *Process) BufferPagesHighWater() int { return p.buf.PagesHighWater() }
+
+// BufferPending reports unconsumed messages in the software buffer.
+func (p *Process) BufferPending() int { return p.buf.count }
+
+// UpcallConsumed reports total cycles spent by the message-handling
+// activity (upcalls and buffered drains).
+func (p *Process) UpcallConsumed() uint64 { return p.upcall.Consumed() }
+
+// BufferVMAllocs reports how many buffer inserts demand-allocated a page.
+func (p *Process) BufferVMAllocs() uint64 { return p.buf.vmallocs }
+
+// StartMain creates the application's main user thread. It begins suspended
+// and runs only while the gang scheduler has the process resident.
+func (p *Process) StartMain(fn func(t *cpu.Task)) {
+	if p.main != nil {
+		panic("glaze: StartMain called twice")
+	}
+	if p.job.mains == 0 {
+		p.job.started = p.job.m.Eng.Now()
+	}
+	p.job.mains++
+	p.main = p.kern.cpu.NewTask(
+		fmt.Sprintf("%s.%d.main", p.job.name, p.node),
+		cpu.PrioUser, cpu.DomainUser,
+		func(t *cpu.Task) {
+			fn(t)
+			p.job.mainDone(p)
+		})
+	if !p.scheduled {
+		p.main.Suspend()
+	}
+}
+
+// SpawnThread creates an additional user thread for the process (message
+// handlers may hand work off to threads in the UDM model).
+func (p *Process) SpawnThread(name string, fn func(t *cpu.Task)) *cpu.Task {
+	t := p.kern.cpu.NewTask(
+		fmt.Sprintf("%s.%d.%s", p.job.name, p.node, name),
+		cpu.PrioUser, cpu.DomainUser, fn)
+	if !p.scheduled {
+		t.Suspend()
+	}
+	p.extra = append(p.extra, t)
+	return t
+}
+
+// SignalUpcall wakes the message-handling activity. The kernel calls it on
+// message-available interrupts, buffer inserts and mode transitions; it is
+// idempotent and level-triggered (a signal raised while the activity is
+// busy is remembered).
+func (p *Process) SignalUpcall() {
+	p.upcallPending = true
+	if p.upcallW.Len() > 0 {
+		p.upcallW.WakeOne()
+	}
+}
+
+// CanDeliverFast reports whether the message-handling activity may take a
+// message directly from the NI: resident, direct mode, matching head.
+func (p *Process) CanDeliverFast() bool {
+	return p.scheduled && !p.buffered && p.kern.ni.MessageAvailable()
+}
+
+// CanDeliverBuffered reports whether the message-handling activity may
+// deliver buffered messages: resident, buffered mode, work pending, and no
+// open atomic section — neither a section suspended at revocation time
+// (atomicVirtual) nor one the user currently holds through the UAC (a
+// polling thread reads the buffer itself; delivering over its head would
+// break atomicity).
+func (p *Process) CanDeliverBuffered() bool {
+	return p.scheduled && p.buffered && !p.atomicVirtual && !p.buf.empty() &&
+		p.kern.ni.UAC()&nic.UACInterruptDisable == 0
+}
+
+// HaveMessage reports whether an extract by the *owning thread* would
+// succeed — the user-visible message-available flag under transparent
+// access: the NI flag in direct mode, buffer occupancy in buffered mode.
+// Unlike CanDeliverBuffered this ignores virtual atomicity, because the
+// thread that holds the suspended section is exactly the one polling.
+func (p *Process) HaveMessage() bool {
+	if !p.scheduled {
+		return false
+	}
+	if p.buffered {
+		return !p.buf.empty()
+	}
+	return p.kern.ni.MessageAvailable()
+}
+
+// MsgLen returns the length in words of the current head message through
+// the transparent-access indirection (NI window or buffered copy).
+func (p *Process) MsgLen() int {
+	if p.buffered {
+		n, _ := p.buf.headLen()
+		return n
+	}
+	return p.kern.ni.HeadLen()
+}
+
+// MsgWord reads word i of the current head message through the
+// transparent-access indirection.
+func (p *Process) MsgWord(i int) uint64 {
+	if p.buffered {
+		w, _ := p.buf.headWord(i)
+		return w
+	}
+	return p.kern.ni.ReadWord(i)
+}
+
+// AtomicVirtual reports whether a revoked atomic section is still open.
+func (p *Process) AtomicVirtual() bool { return p.atomicVirtual }
+
+// Throttled reports whether overflow control has stalled this process's
+// sends.
+func (p *Process) Throttled() bool { return p.throttled }
+
+// WaitThrottle blocks the calling task until overflow control releases the
+// process.
+func (p *Process) WaitThrottle(t *cpu.Task) {
+	for p.throttled {
+		p.throttleW.Wait(t)
+	}
+}
+
+// tasks iterates the process's tasks.
+func (p *Process) tasks() []*cpu.Task {
+	ts := make([]*cpu.Task, 0, 2+len(p.extra))
+	if p.main != nil {
+		ts = append(ts, p.main)
+	}
+	ts = append(ts, p.upcall)
+	ts = append(ts, p.extra...)
+	return ts
+}
+
+func (p *Process) suspendTasks() {
+	for _, t := range p.tasks() {
+		if !t.Done() {
+			t.Suspend()
+		}
+	}
+}
+
+func (p *Process) resumeTasks() {
+	for _, t := range p.tasks() {
+		if !t.Done() {
+			t.Resume()
+		}
+	}
+}
+
+// Job is a gang-scheduled parallel application: one process per node, all
+// sharing a GID.
+type Job struct {
+	m       *Machine
+	name    string
+	gid     nic.GID
+	procs   []*Process
+	mains   int // processes whose main thread has been started
+	done    int // main threads finished
+	doneAt  uint64
+	onDone  []func()
+	started uint64 // time of first StartMain
+
+	// Tag is free for higher layers (the application rig attaches itself
+	// so the harness can reach per-endpoint statistics).
+	Tag any
+
+	// Overflow control state (global, mirrors the paper's scheduler
+	// server view of the job).
+	overflowed bool
+}
+
+// Name returns the job's name.
+func (j *Job) Name() string { return j.name }
+
+// GID returns the job's group identifier.
+func (j *Job) GID() nic.GID { return j.gid }
+
+// Process returns the job's process on a node.
+func (j *Job) Process(node int) *Process { return j.procs[node] }
+
+// Procs returns all per-node processes.
+func (j *Job) Procs() []*Process { return j.procs }
+
+// Done reports whether every started main thread has finished.
+func (j *Job) Done() bool { return j.mains > 0 && j.done == j.mains }
+
+// DoneAt returns the completion time (valid once Done).
+func (j *Job) DoneAt() uint64 { return j.doneAt }
+
+// OnDone registers a completion callback.
+func (j *Job) OnDone(fn func()) { j.onDone = append(j.onDone, fn) }
+
+func (j *Job) mainDone(p *Process) {
+	j.done++
+	if j.Done() {
+		j.doneAt = j.m.Eng.Now()
+		for _, fn := range j.onDone {
+			fn()
+		}
+	}
+}
+
+// Delivery aggregates per-path delivery counts across the job's processes.
+func (j *Job) Delivery() stats.Delivery {
+	var d stats.Delivery
+	for _, p := range j.procs {
+		d.Add(p.Deliv)
+	}
+	return d
+}
+
+// MaxBufferPages returns the largest buffer-page high water across nodes —
+// the "physical pages required" metric of Section 5.1.
+func (j *Job) MaxBufferPages() int {
+	max := 0
+	for _, p := range j.procs {
+		if hw := p.BufferPagesHighWater(); hw > max {
+			max = hw
+		}
+	}
+	return max
+}

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fugu/internal/plot"
+)
+
+// CSV renders the Table 6 characterization as comma-separated values.
+func (r Table6Result) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.App, row.Model, u(row.Runtime), u(row.Msgs),
+			fmt.Sprintf("%.1f", row.TBetw), fmt.Sprintf("%.1f", row.THand),
+			errStr(row.Err),
+		})
+	}
+	return plot.CSV([]string{"app", "model", "cycles", "msgs", "t_betw", "t_hand", "check"}, rows)
+}
+
+// CSV7 renders the Figure 7 sweep (buffered fraction and buffer pages).
+func (r Fig78Result) CSV7() string {
+	var rows [][]string
+	for _, app := range r.Apps {
+		for i, skew := range r.Skews {
+			run := r.Runs[app][i]
+			rows = append(rows, []string{
+				app, fmt.Sprintf("%.3f", skew),
+				fmt.Sprintf("%.4f", run.BufferedPct),
+				u(run.Buffered), u(run.Msgs),
+				fmt.Sprintf("%d", run.MaxBufferPages),
+			})
+		}
+	}
+	return plot.CSV([]string{"app", "skew", "buffered_pct", "buffered", "msgs", "max_pages"}, rows)
+}
+
+// CSV8 renders the Figure 8 sweep (relative runtimes).
+func (r Fig78Result) CSV8() string {
+	var rows [][]string
+	for _, app := range r.Apps {
+		base := float64(r.Runs[app][0].Runtime)
+		for i, skew := range r.Skews {
+			rows = append(rows, []string{
+				app, fmt.Sprintf("%.3f", skew),
+				fmt.Sprintf("%.4f", float64(r.Runs[app][i].Runtime)/base),
+				u(r.Runs[app][i].Runtime),
+			})
+		}
+	}
+	return plot.CSV([]string{"app", "skew", "relative_runtime", "runtime_cycles"}, rows)
+}
+
+// CSV renders the Figure 9 sweep.
+func (r Fig9Result) CSV() string {
+	var rows [][]string
+	for i, n := range r.Ns {
+		for j, tb := range r.TBetws {
+			rows = append(rows, []string{
+				fmt.Sprintf("synth-%d", n), u(tb),
+				fmt.Sprintf("%.4f", r.Pct[i][j]),
+			})
+		}
+	}
+	return plot.CSV([]string{"app", "t_betw", "buffered_pct"}, rows)
+}
+
+// CSV renders the Figure 10 sweep.
+func (r Fig10Result) CSV() string {
+	var rows [][]string
+	for i, n := range r.Ns {
+		for j, x := range r.Extra {
+			rows = append(rows, []string{
+				fmt.Sprintf("synth-%d", n), u(x),
+				fmt.Sprintf("%.4f", r.Pct[i][j]),
+			})
+		}
+	}
+	return plot.CSV([]string{"app", "extra_insert_cost", "buffered_pct"}, rows)
+}
+
+// WriteCSV saves content under dir/name, creating dir as needed.
+func WriteCSV(dir, name, content string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+}

@@ -1,0 +1,247 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"fugu/internal/apps"
+	"fugu/internal/glaze"
+	"fugu/internal/plot"
+)
+
+// Fig78Result holds the shared sweep behind Figures 7 and 8: every
+// application multiprogrammed against null across scheduler skews.
+type Fig78Result struct {
+	Skews []float64
+	// Runs[app][skewIndex]
+	Runs map[string][]RunStats
+	Apps []string
+}
+
+// Fig7Skews returns the schedule-quality sweep (fraction of the quantum by
+// which node clocks are skewed).
+func Fig7Skews(quick bool) []float64 {
+	if quick {
+		return []float64{0, 0.01, 0.04, 0.08}
+	}
+	return []float64{0, 0.005, 0.01, 0.02, 0.04, 0.08}
+}
+
+// Fig7and8 runs the sweep. Figure 7 reads the buffered fraction, Figure 8
+// the runtime relative to zero skew; both also expose the max physical
+// buffer pages per node (the paper's "less than seven pages" observation).
+func Fig7and8(opt Options) Fig78Result {
+	res := Fig78Result{Skews: Fig7Skews(opt.Quick), Runs: map[string][]RunStats{}}
+	for _, mk := range AppMakers(opt.Quick) {
+		name := mk().Name()
+		res.Apps = append(res.Apps, name)
+		for _, skew := range res.Skews {
+			runs := make([]RunStats, 0, opt.Trials)
+			for trial := 0; trial < max(1, opt.Trials); trial++ {
+				runs = append(runs, RunMultiprogrammedQ(mk, skew, opt.Seed+uint64(trial), opt.QuantumFor(), nil))
+			}
+			res.Runs[name] = append(res.Runs[name], averageStats(runs))
+		}
+	}
+	return res
+}
+
+// Print7 renders Figure 7: percentage of messages traversing the buffered
+// path versus decreasing schedule quality.
+func (r Fig78Result) Print7(w io.Writer) {
+	var series []plot.Series
+	rows := make([][]string, 0)
+	for _, app := range r.Apps {
+		s := plot.Series{Name: app}
+		for i, skew := range r.Skews {
+			run := r.Runs[app][i]
+			s.X = append(s.X, skew*100)
+			s.Y = append(s.Y, run.BufferedPct)
+			rows = append(rows, []string{app, fmt.Sprintf("%.1f%%", skew*100),
+				pct(run.BufferedPct), u(run.Buffered), u(run.Msgs),
+				fmt.Sprintf("%d", run.MaxBufferPages), errStr(run.Err)})
+		}
+		series = append(series, s)
+	}
+	fmt.Fprintln(w, plot.Line("Figure 7: % messages buffered vs scheduler skew",
+		"skew (% of quantum)", "% buffered", series, 60, 16))
+	fmt.Fprintln(w, plot.Table(
+		[]string{"app", "skew", "%buffered", "buffered", "msgs", "maxpages/node", "check"}, rows))
+	fmt.Fprintln(w, "paper: synchronizing apps flat, enum linear in skew; all < 7 pages/node")
+}
+
+// Print8 renders Figure 8: runtime normalized to the zero-skew run.
+func (r Fig78Result) Print8(w io.Writer) {
+	var series []plot.Series
+	rows := make([][]string, 0)
+	for _, app := range r.Apps {
+		base := float64(r.Runs[app][0].Runtime)
+		s := plot.Series{Name: app}
+		for i, skew := range r.Skews {
+			rel := float64(r.Runs[app][i].Runtime) / base
+			s.X = append(s.X, skew*100)
+			s.Y = append(s.Y, rel)
+			rows = append(rows, []string{app, fmt.Sprintf("%.1f%%", skew*100),
+				fmt.Sprintf("%.3f", rel), mcyc(r.Runs[app][i].Runtime)})
+		}
+		series = append(series, s)
+	}
+	fmt.Fprintln(w, plot.Line("Figure 8: relative runtime vs scheduler skew",
+		"skew (% of quantum)", "runtime / zero-skew runtime", series, 60, 16))
+	fmt.Fprintln(w, plot.Table([]string{"app", "skew", "relative", "runtime"}, rows))
+	fmt.Fprintln(w, "paper: barrier most sensitive (~1/(1-skew)), enum least; others intermediate")
+}
+
+// Fig9Result sweeps the send interval for synth-N (Figure 9).
+type Fig9Result struct {
+	TBetws []uint64
+	Ns     []int
+	// Pct[nIndex][tbetwIndex] = % buffered on the consumer side.
+	Pct  [][]float64
+	Errs []error
+}
+
+// Fig9 reproduces: % messages buffered vs send interval, synth-N at 1%
+// scheduler skew, T_hand fixed (~290 cycles with overheads).
+func Fig9(opt Options) Fig9Result {
+	res := Fig9Result{
+		TBetws: []uint64{100, 150, 200, 275, 400, 600, 900, 1300},
+		Ns:     []int{10, 100, 1000},
+	}
+	if opt.Quick {
+		res.TBetws = []uint64{100, 150, 275, 600}
+	}
+	groupsFor := func(n int) int {
+		total := 12000 // requests per node across the run
+		if opt.Quick {
+			total = 4000
+		}
+		g := total / n
+		if g < 1 {
+			g = 1
+		}
+		return g
+	}
+	for _, n := range res.Ns {
+		var row []float64
+		for _, tb := range res.TBetws {
+			n, tb := n, tb
+			runs := make([]RunStats, 0, opt.Trials)
+			for trial := 0; trial < max(1, opt.Trials); trial++ {
+				runs = append(runs, RunMultiprogrammedQ(
+					func() apps.Instance { return apps.NewSynth(n, groupsFor(n), tb) },
+					0.01, opt.Seed+uint64(trial), Quantum, nil))
+			}
+			avg := averageStats(runs)
+			if avg.Err != nil {
+				res.Errs = append(res.Errs, avg.Err)
+			}
+			row = append(row, avg.BufferedPct)
+		}
+		res.Pct = append(res.Pct, row)
+	}
+	return res
+}
+
+// Print renders Figure 9.
+func (r Fig9Result) Print(w io.Writer) {
+	var series []plot.Series
+	rows := [][]string{}
+	for i, n := range r.Ns {
+		s := plot.Series{Name: fmt.Sprintf("synth-%d", n)}
+		for j, tb := range r.TBetws {
+			s.X = append(s.X, float64(tb))
+			s.Y = append(s.Y, r.Pct[i][j])
+			rows = append(rows, []string{s.Name, u(tb), pct(r.Pct[i][j])})
+		}
+		series = append(series, s)
+	}
+	fmt.Fprintln(w, plot.Line("Figure 9: % messages buffered vs send interval (1% skew)",
+		"T_betw (cycles)", "% buffered", series, 60, 16))
+	fmt.Fprintln(w, plot.Table([]string{"app", "T_betw", "%buffered"}, rows))
+	fmt.Fprintln(w, "paper: small once T_betw > T_hand + buffering overhead; smaller N buffers less")
+	for _, err := range r.Errs {
+		fmt.Fprintf(w, "CHECK FAILED: %v\n", err)
+	}
+}
+
+// Fig10Result sweeps the buffered-path cost (Figure 10).
+type Fig10Result struct {
+	Extra []uint64
+	Ns    []int
+	Pct   [][]float64
+	Errs  []error
+}
+
+// Fig10 reproduces: % messages buffered vs artificial additions to the
+// buffer-insert handler cost, at T_betw = 275 cycles and 1% skew.
+func Fig10(opt Options) Fig10Result {
+	res := Fig10Result{
+		Extra: []uint64{0, 100, 200, 400, 800, 1600},
+		Ns:    []int{10, 100, 1000},
+	}
+	if opt.Quick {
+		res.Extra = []uint64{0, 200, 800}
+	}
+	groupsFor := func(n int) int {
+		total := 12000
+		if opt.Quick {
+			total = 4000
+		}
+		g := total / n
+		if g < 1 {
+			g = 1
+		}
+		return g
+	}
+	for _, n := range res.Ns {
+		var row []float64
+		for _, extra := range res.Extra {
+			n, extra := n, extra
+			runs := make([]RunStats, 0, opt.Trials)
+			for trial := 0; trial < max(1, opt.Trials); trial++ {
+				runs = append(runs, RunMultiprogrammed(
+					func() apps.Instance { return apps.NewSynth(n, groupsFor(n), 275) },
+					0.01, opt.Seed+uint64(trial),
+					func(cfg *glaze.Config) { cfg.Cost.ExtraBufferCost = extra }))
+			}
+			avg := averageStats(runs)
+			if avg.Err != nil {
+				res.Errs = append(res.Errs, avg.Err)
+			}
+			row = append(row, avg.BufferedPct)
+		}
+		res.Pct = append(res.Pct, row)
+	}
+	return res
+}
+
+// Print renders Figure 10.
+func (r Fig10Result) Print(w io.Writer) {
+	var series []plot.Series
+	rows := [][]string{}
+	for i, n := range r.Ns {
+		s := plot.Series{Name: fmt.Sprintf("synth-%d", n)}
+		for j, x := range r.Extra {
+			s.X = append(s.X, float64(x))
+			s.Y = append(s.Y, r.Pct[i][j])
+			rows = append(rows, []string{s.Name, u(x), pct(r.Pct[i][j])})
+		}
+		series = append(series, s)
+	}
+	fmt.Fprintln(w, plot.Line("Figure 10: % messages buffered vs added buffered-path cost (T_betw=275, 1% skew)",
+		"added insert cost (cycles)", "% buffered", series, 60, 16))
+	fmt.Fprintln(w, plot.Table([]string{"app", "extra cost", "%buffered"}, rows))
+	fmt.Fprintln(w, "paper: synth-10 stays small; larger N climbs once the buffered path")
+	fmt.Fprintln(w, "cannot keep up with the send rate")
+	for _, err := range r.Errs {
+		fmt.Fprintf(w, "CHECK FAILED: %v\n", err)
+	}
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
+}

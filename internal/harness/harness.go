@@ -1,0 +1,220 @@
+// Package harness regenerates every data-bearing table and figure of the
+// paper's evaluation: Table 4 (fast-path cycle counts), Table 5 (buffered-
+// path costs), Table 6 (application characteristics), Figure 7 (buffered
+// fraction vs schedule quality), Figure 8 (relative runtime vs schedule
+// quality), Figure 9 (buffered fraction vs send interval) and Figure 10
+// (buffered fraction vs buffered-path cost).
+//
+// Each experiment returns structured results and can print the paper-style
+// table or an ASCII rendition of the figure. EXPERIMENTS.md records the
+// paper-vs-measured comparison produced by `fugusim all`.
+package harness
+
+import (
+	"fmt"
+
+	"fugu/internal/apps"
+	"fugu/internal/glaze"
+)
+
+// Options scales the experiments. Quick shrinks workloads so the whole
+// suite runs in tens of seconds (the relationships survive scaling; see
+// EXPERIMENTS.md); the full sizes are the paper's.
+type Options struct {
+	Quick  bool
+	Trials int // paper averages 3 trials
+	Seed   uint64
+}
+
+// DefaultOptions mirror the paper: full sizes, 3 trials.
+func DefaultOptions() Options { return Options{Trials: 3, Seed: 1} }
+
+// QuickOptions are the scaled-down configuration benches use.
+func QuickOptions() Options { return Options{Quick: true, Trials: 1, Seed: 1} }
+
+// Quantum is the scheduler timeslice, 500,000 cycles as in Section 5.
+const Quantum = 500_000
+
+// QuantumFor returns the timeslice for the chosen scale: quick mode shrinks
+// the quantum along with the workloads so runs still span many timeslices
+// (the schedule-quality experiments are meaningless inside one quantum).
+func (o Options) QuantumFor() uint64 {
+	if o.Quick {
+		return 50_000
+	}
+	return Quantum
+}
+
+// machineConfig builds the standard 8-node experiment machine.
+func machineConfig(seed uint64) glaze.Config {
+	cfg := glaze.DefaultConfig()
+	cfg.Seed = seed
+	// Applications ship bulk data; FUGU used a DMA engine for messages
+	// longer than the 16-word descriptor, which we model with a larger
+	// descriptor (see DESIGN.md).
+	cfg.NIConfig.OutputWords = 64
+	return cfg
+}
+
+// AppMakers returns constructors for the five Table 6 applications at the
+// chosen scale.
+func AppMakers(quick bool) []func() apps.Instance {
+	if quick {
+		return []func() apps.Instance{
+			func() apps.Instance { return apps.NewBarnes(256, 2) },
+			func() apps.Instance { return apps.NewWater(192, 3) },
+			func() apps.Instance { return apps.NewLU(120, 10) },
+			func() apps.Instance { return apps.NewBarrierApp(2000) },
+			func() apps.Instance { return apps.NewEnum(5) },
+		}
+	}
+	return []func() apps.Instance{
+		func() apps.Instance { return apps.NewBarnes(2048, 3) },
+		func() apps.Instance { return apps.NewWater(512, 3) },
+		func() apps.Instance { return apps.NewLU(250, 10) },
+		func() apps.Instance { return apps.NewBarrierApp(10000) },
+		// The paper runs the triangle puzzle at 6 pegs/side; that game
+		// tree is out of reach for an exhaustively verified run, so we
+		// enumerate 5 pegs/side (see DESIGN.md deviations).
+		func() apps.Instance { return apps.NewEnum(5) },
+	}
+}
+
+// RunStats summarizes one application run.
+type RunStats struct {
+	App            string
+	Model          string
+	Skew           float64
+	Runtime        uint64 // completion time in cycles
+	Msgs           uint64
+	Fast, Buffered uint64
+	BufferedPct    float64
+	MaxBufferPages int
+	TBetw, THand   float64
+	Err            error
+}
+
+// RunStandalone executes an instance alone on eight nodes (Table 6 rows).
+func RunStandalone(make func() apps.Instance, seed uint64) RunStats {
+	inst := make()
+	cfg := machineConfig(seed)
+	m := glaze.NewMachine(cfg)
+	job := m.NewJob(inst.Name())
+	rig := instrument(m, job, inst)
+	m.NewGang(1<<40, 0, job).Start()
+	start := m.Eng.Now()
+	m.RunUntilDone(0, job)
+	return collect(inst, job, rig, 0, job.DoneAt()-start)
+}
+
+// RunMultiprogrammed executes an instance against a null application under
+// a gang schedule with the given clock skew (Figures 7-10).
+func RunMultiprogrammed(make func() apps.Instance, skew float64, seed uint64, mut func(*glaze.Config)) RunStats {
+	return RunMultiprogrammedQ(make, skew, seed, Quantum, mut)
+}
+
+// RunMultiprogrammedQ is RunMultiprogrammed with an explicit quantum.
+func RunMultiprogrammedQ(make func() apps.Instance, skew float64, seed uint64, quantum uint64, mut func(*glaze.Config)) RunStats {
+	inst := make()
+	cfg := machineConfig(seed)
+	if mut != nil {
+		mut(&cfg)
+	}
+	m := glaze.NewMachine(cfg)
+	job := m.NewJob(inst.Name())
+	null := m.NewJob("null")
+	rig := instrument(m, job, inst)
+	apps.Null{}.Start(m, null)
+	m.NewGang(quantum, skew, job, null).Start()
+	m.RunUntilDone(0, job)
+	return collect(inst, job, rig, skew, job.DoneAt())
+}
+
+// instrument starts the instance and keeps the rig for characterization.
+// The rig must be built by the instance itself; we recover per-EP stats
+// through the job's processes instead, so instances stay self-contained.
+func instrument(m *glaze.Machine, job *glaze.Job, inst apps.Instance) *glaze.Job {
+	inst.Start(m, job)
+	return job
+}
+
+// collect assembles RunStats after completion.
+func collect(inst apps.Instance, job *glaze.Job, _ *glaze.Job, skew float64, runtime uint64) RunStats {
+	d := job.Delivery()
+	rs := RunStats{
+		App:            inst.Name(),
+		Model:          inst.Model(),
+		Skew:           skew,
+		Runtime:        runtime,
+		Fast:           d.Fast,
+		Buffered:       d.Buffered,
+		BufferedPct:    d.BufferedPct(),
+		MaxBufferPages: job.MaxBufferPages(),
+		Err:            inst.Check(),
+	}
+	rs.Msgs = d.Total()
+	if rs.Msgs > 0 {
+		rs.TBetw = float64(runtime) * float64(len(job.Procs())) / float64(rs.Msgs)
+	}
+	rs.THand = handlerMean(job)
+	return rs
+}
+
+// handlerMean reads the per-endpoint handler occupancy the application rig
+// registered on the job; it covers polled deliveries too, unlike the
+// upcall-task accounting it falls back to.
+func handlerMean(job *glaze.Job) float64 {
+	if rig, ok := job.Tag.(*apps.Rig); ok {
+		return rig.HandlerMean()
+	}
+	var cycles, msgs uint64
+	for _, p := range job.Procs() {
+		cycles += p.UpcallConsumed()
+		msgs += p.Deliv.Fast + p.Deliv.Buffered
+	}
+	if msgs == 0 {
+		return 0
+	}
+	return float64(cycles) / float64(msgs)
+}
+
+// averageStats averages runs (trials) of the same configuration.
+func averageStats(runs []RunStats) RunStats {
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	avg := runs[0]
+	var rt, msgs, fast, buf float64
+	var pages int
+	var pct, tb, th float64
+	for _, r := range runs {
+		rt += float64(r.Runtime)
+		msgs += float64(r.Msgs)
+		fast += float64(r.Fast)
+		buf += float64(r.Buffered)
+		pct += r.BufferedPct
+		tb += r.TBetw
+		th += r.THand
+		if r.MaxBufferPages > pages {
+			pages = r.MaxBufferPages
+		}
+		if r.Err != nil {
+			avg.Err = r.Err
+		}
+	}
+	n := float64(len(runs))
+	avg.Runtime = uint64(rt / n)
+	avg.Msgs = uint64(msgs / n)
+	avg.Fast = uint64(fast / n)
+	avg.Buffered = uint64(buf / n)
+	avg.BufferedPct = pct / n
+	avg.TBetw = tb / n
+	avg.THand = th / n
+	avg.MaxBufferPages = pages
+	return avg
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func u(v uint64) string    { return fmt.Sprintf("%d", v) }
+func mcyc(v uint64) string { return fmt.Sprintf("%.1fM", float64(v)/1e6) }

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"fugu/internal/cpu"
+	"fugu/internal/glaze"
+	"fugu/internal/plot"
+	"fugu/internal/udm"
+)
+
+// Table5Result reproduces the software-buffer overhead table: the
+// configured constants plus end-to-end measurements from a microbenchmark
+// that forces many messages through the buffered path.
+type Table5Result struct {
+	InsertMin     uint64 // configured minimum insert cost
+	InsertVMAlloc uint64 // configured insert cost with page allocation
+	Extract       uint64 // configured null-handler-from-buffer cost
+
+	MeasuredInsertMean  float64 // ISR cycles per buffered insert
+	MeasuredExtractMean float64 // upcall cycles per buffered delivery
+	Inserts             uint64
+	VMAllocs            uint64
+}
+
+// Table5 runs the microbenchmark: a sender floods a receiver whose process
+// is not yet scheduled, so every message is inserted into the virtual
+// buffer (some taking the vmalloc path); the receiver then drains from the
+// buffer with null handlers.
+func Table5() Table5Result {
+	cfg := glaze.DefaultConfig()
+	cfg.W, cfg.H = 2, 1
+	m := glaze.NewMachine(cfg)
+	job := m.NewJob("bufbench")
+	null := m.NewJob("null")
+	ep0 := udm.Attach(job.Process(0))
+	ep1 := udm.Attach(job.Process(1))
+	udm.Attach(null.Process(0))
+	udm.Attach(null.Process(1))
+
+	const N = 2000
+	got := 0
+	ep1.On(1, func(e *udm.Env, msg *udm.Msg) { got++ })
+	job.Process(0).StartMain(func(t *cpu.Task) {
+		e := ep0.Env(t)
+		for i := 0; i < N; i++ {
+			e.Inject(1, 1, uint64(i), 0, 0, 0) // 4-word payload
+		}
+	})
+	job.Process(1).StartMain(func(t *cpu.Task) {
+		for got < N {
+			t.Spend(10_000)
+		}
+	})
+	// Node 1 joins the job's quantum half a slice late, so the flood lands
+	// in the buffered path.
+	m.NewGang(Quantum, 0.9, job, null).Start()
+	m.RunUntilDone(0, job)
+
+	cm := m.Cost()
+	res := Table5Result{
+		InsertMin:     cm.BufferInsertMin,
+		InsertVMAlloc: cm.BufferInsertVMAlloc,
+		Extract:       cm.BufferedNullHandler,
+		Inserts:       m.Nodes[1].Kernel.Inserts,
+		VMAllocs:      job.Process(1).BufferVMAllocs(),
+	}
+	if res.Inserts > 0 {
+		res.MeasuredInsertMean = float64(m.Nodes[1].Kernel.MismatchConsumed()) / float64(res.Inserts)
+	}
+	d := job.Process(1).Deliv
+	if d.Buffered > 0 {
+		res.MeasuredExtractMean = float64(job.Process(1).UpcallConsumed()) / float64(d.Buffered)
+	}
+	return res
+}
+
+// Print renders the table with the paper's reference values.
+func (r Table5Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 5: software buffer insert/extract overheads")
+	fmt.Fprintln(w, plot.Table(
+		[]string{"Item", "configured", "paper", "measured mean"},
+		[][]string{
+			{"Minimum buffer-insert handler", u(r.InsertMin), "180", f1(r.MeasuredInsertMean)},
+			{"Maximum handler (w/vmalloc)", u(r.InsertVMAlloc), "3,162", fmt.Sprintf("(%d/%d inserts allocated)", r.VMAllocs, r.Inserts)},
+			{"Execute null handler from buffer", u(r.Extract), "52", f1(r.MeasuredExtractMean)},
+		}))
+	fmt.Fprintf(w, "minimum per-message buffered total: %d cycles (paper: 232 = 180 + 52)\n",
+		r.InsertMin+r.Extract)
+}

@@ -1,0 +1,209 @@
+// Package mesh models the FUGU interconnect: a 2-D mesh carrying two
+// independent logical networks — the main user/data network and the reserved
+// operating-system network the paper relies on for a deadlock-free path to
+// backing store (implemented in the UCU as a bit-serial network).
+//
+// The model is deliberately at the level the paper's experiments need:
+// deterministic per-pair in-order delivery, dimension-ordered hop latency,
+// per-word serialization, and receiver backpressure (a full NI input queue
+// leaves packets queued in the network, which is exactly the condition the
+// atomicity-timeout mechanism exists to police). Router microarchitecture is
+// out of scope (see DESIGN.md).
+package mesh
+
+import (
+	"fmt"
+
+	"fugu/internal/sim"
+)
+
+// Class selects one of the two logical networks.
+type Class int
+
+// Logical networks.
+const (
+	Main Class = iota // user messages
+	OS                // reserved kernel network (paging, overflow control)
+	numClasses
+)
+
+func (c Class) String() string {
+	if c == Main {
+		return "main"
+	}
+	return "os"
+}
+
+// Packet is one message in flight. Words[0] is the routing header written by
+// the sender's NI (destination and GID stamp); Words[1] is the handler
+// address; the rest is payload.
+type Packet struct {
+	ID    uint64 // global injection sequence number
+	Src   int
+	Dst   int
+	Class Class
+	Words []uint64
+
+	SentAt    uint64 // injection time
+	ArrivedAt uint64 // time the packet reached the destination port
+}
+
+// Len returns the packet length in words.
+func (p *Packet) Len() int { return len(p.Words) }
+
+// Endpoint receives packets at a node. Arrive must not consume simulated
+// time; it returns false to refuse the packet (input queue full), in which
+// case the network holds it and re-offers after NotifySpace.
+type Endpoint interface {
+	Arrive(pkt *Packet) bool
+}
+
+// LatencyModel gives the fixed delivery cost of a packet.
+type LatencyModel struct {
+	Base    uint64 // router pipeline + launch-to-head latency
+	PerHop  uint64 // per mesh hop
+	PerWord uint64 // serialization per word
+}
+
+// DefaultLatency roughly matches Alewife's network: a handful of cycles of
+// base latency plus small per-hop and per-word costs.
+func DefaultLatency() LatencyModel {
+	return LatencyModel{Base: 10, PerHop: 2, PerWord: 1}
+}
+
+// Delay computes the latency for a packet of n words over h hops.
+func (m LatencyModel) Delay(h, n int) uint64 {
+	return m.Base + m.PerHop*uint64(h) + m.PerWord*uint64(n)
+}
+
+// Stats aggregates per-network traffic counters.
+type Stats struct {
+	Packets uint64
+	Words   uint64
+	Refused uint64 // Arrive rejections (backpressure events)
+}
+
+// Net is the interconnect for a machine of W×H nodes.
+type Net struct {
+	eng    *sim.Engine
+	w, h   int
+	lat    LatencyModel
+	nextID uint64
+
+	endpoints [numClasses][]Endpoint
+	// blocked packets per (class, dst), FIFO in arrival order.
+	blocked [numClasses][][]*Packet
+	// lastArrive enforces per-(src,dst) FIFO: a short packet must not
+	// overtake an earlier long one on the same route (packets follow the
+	// same path and cannot reorder in a wormhole mesh). Indexed src*n+dst.
+	lastArrive [numClasses][]uint64
+	stats      [numClasses]Stats
+}
+
+// New creates a mesh of w×h nodes on the engine with the given latency model.
+func New(eng *sim.Engine, w, h int, lat LatencyModel) *Net {
+	n := w * h
+	net := &Net{eng: eng, w: w, h: h, lat: lat}
+	for c := range net.endpoints {
+		net.endpoints[c] = make([]Endpoint, n)
+		net.blocked[c] = make([][]*Packet, n)
+		net.lastArrive[c] = make([]uint64, n*n)
+	}
+	return net
+}
+
+// Nodes returns the node count.
+func (n *Net) Nodes() int { return n.w * n.h }
+
+// Hops returns the dimension-ordered (XY) hop count between two nodes.
+func (n *Net) Hops(src, dst int) int {
+	sx, sy := src%n.w, src/n.w
+	dx, dy := dst%n.w, dst/n.w
+	abs := func(v int) int {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+// Register installs the endpoint for a node on one logical network.
+func (n *Net) Register(node int, class Class, ep Endpoint) {
+	n.endpoints[class][node] = ep
+}
+
+// StatsFor returns traffic counters for a logical network.
+func (n *Net) StatsFor(class Class) Stats { return n.stats[class] }
+
+// Send injects a packet. words[0] must already hold the routing header; the
+// destination is passed explicitly since header encoding belongs to the NI.
+// Delivery is in order per (src, dst, class) pair and costs
+// Base + PerHop*hops + PerWord*len cycles; local sends (src == dst) skip the
+// hop cost but still traverse the interface.
+func (n *Net) Send(class Class, src, dst int, words []uint64) *Packet {
+	if dst < 0 || dst >= n.Nodes() {
+		panic(fmt.Sprintf("mesh: send to invalid node %d", dst))
+	}
+	pkt := &Packet{
+		ID:     n.nextID,
+		Src:    src,
+		Dst:    dst,
+		Class:  class,
+		Words:  words,
+		SentAt: n.eng.Now(),
+	}
+	n.nextID++
+	n.stats[class].Packets++
+	n.stats[class].Words += uint64(len(words))
+	at := n.eng.Now() + n.lat.Delay(n.Hops(src, dst), len(words))
+	// Same-route FIFO: a short packet sent after a long one queues behind
+	// it rather than overtaking (length-dependent latency must not reorder
+	// a pair's traffic).
+	if last := n.lastArrive[class][src*n.Nodes()+dst]; at <= last {
+		at = last + 1
+	}
+	n.lastArrive[class][src*n.Nodes()+dst] = at
+	n.eng.ScheduleAt(at, func() { n.deliver(pkt) })
+	return pkt
+}
+
+// deliver offers pkt to its destination, queueing it behind any packets
+// already blocked there so per-pair order is preserved even across refusals.
+func (n *Net) deliver(pkt *Packet) {
+	pkt.ArrivedAt = n.eng.Now()
+	q := n.blocked[pkt.Class][pkt.Dst]
+	if len(q) > 0 {
+		// Keep strict arrival order: never bypass blocked packets.
+		n.blocked[pkt.Class][pkt.Dst] = append(q, pkt)
+		return
+	}
+	ep := n.endpoints[pkt.Class][pkt.Dst]
+	if ep == nil {
+		panic(fmt.Sprintf("mesh: no endpoint for node %d class %s", pkt.Dst, pkt.Class))
+	}
+	if !ep.Arrive(pkt) {
+		n.stats[pkt.Class].Refused++
+		n.blocked[pkt.Class][pkt.Dst] = append(q, pkt)
+	}
+}
+
+// NotifySpace tells the network a node freed input capacity on a class;
+// blocked packets are re-offered in arrival order until one is refused.
+func (n *Net) NotifySpace(node int, class Class) {
+	q := n.blocked[class][node]
+	for len(q) > 0 {
+		pkt := q[0]
+		if !n.endpoints[class][node].Arrive(pkt) {
+			break
+		}
+		copy(q, q[1:])
+		q = q[:len(q)-1]
+	}
+	n.blocked[class][node] = q
+}
+
+// BlockedAt reports how many packets are waiting in the network for a node.
+func (n *Net) BlockedAt(node int, class Class) int {
+	return len(n.blocked[class][node])
+}

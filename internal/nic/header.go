@@ -1,0 +1,55 @@
+// Package nic models the FUGU network interface: the memory-mapped register
+// file of Figure 3, the atomic operations of Table 1, the interrupts and
+// traps of Table 2 and the User Atomicity Control flags of Table 3 of the
+// paper, including the GID protection check and the revocable interrupt
+// disable (atomicity timer) mechanism.
+//
+// The NI is pure hardware model: it consumes no simulated time itself.
+// Cycle costs for using it (Table 4) are charged by the software layers
+// (internal/udm for user code, internal/glaze for the kernel).
+package nic
+
+// GID is a Group Identifier labelling a gang of processes that may exchange
+// messages. The hardware stamps the sender's GID into every outgoing header
+// and checks it at the receiver.
+type GID uint16
+
+// KernelGID marks operating-system messages. User code attempting to launch
+// a message with the kernel bit set takes a protection-violation trap.
+const KernelGID GID = 0
+
+// Header field layout within word 0 of a message:
+//
+//	bits  0-7   destination node
+//	bit   15    kernel-message flag
+//	bits 16-31  GID (stamped by hardware at launch)
+const (
+	headerDstMask  = 0xff
+	headerKernel   = 1 << 15
+	headerGIDShift = 16
+)
+
+// MakeHeader builds a routing header for a user message to dst. The GID
+// field is left zero; hardware stamps it at launch.
+func MakeHeader(dst int) uint64 {
+	return uint64(dst) & headerDstMask
+}
+
+// MakeKernelHeader builds a routing header for an operating-system message.
+func MakeKernelHeader(dst int) uint64 {
+	return MakeHeader(dst) | headerKernel
+}
+
+// HeaderDst extracts the destination node from a header word.
+func HeaderDst(h uint64) int { return int(h & headerDstMask) }
+
+// HeaderGID extracts the stamped GID from a header word.
+func HeaderGID(h uint64) GID { return GID(h >> headerGIDShift) }
+
+// HeaderIsKernel reports whether the header is a kernel message.
+func HeaderIsKernel(h uint64) bool { return h&headerKernel != 0 }
+
+// stampGID writes a GID into a header word.
+func stampGID(h uint64, g GID) uint64 {
+	return (h &^ (uint64(0xffff) << headerGIDShift)) | uint64(g)<<headerGIDShift
+}

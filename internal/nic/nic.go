@@ -1,0 +1,452 @@
+package nic
+
+import (
+	"fmt"
+
+	"fugu/internal/cpu"
+	"fugu/internal/mesh"
+	"fugu/internal/sim"
+)
+
+// Trap enumerates the synchronous traps of Table 2. Operations return the
+// trap they raise (or TrapNone); the calling software layer vectors into the
+// kernel's trap handlers.
+type Trap int
+
+// Traps, per Table 2 of the paper.
+const (
+	TrapNone Trap = iota
+	TrapDisposeExtend
+	TrapDisposeFailure
+	TrapBadDispose
+	TrapAtomicityExtend
+	TrapProtectionViolation
+)
+
+func (t Trap) String() string {
+	switch t {
+	case TrapNone:
+		return "none"
+	case TrapDisposeExtend:
+		return "dispose-extend"
+	case TrapDisposeFailure:
+		return "dispose-failure"
+	case TrapBadDispose:
+		return "bad-dispose"
+	case TrapAtomicityExtend:
+		return "atomicity-extend"
+	case TrapProtectionViolation:
+		return "protection-violation"
+	default:
+		return fmt.Sprintf("trap(%d)", int(t))
+	}
+}
+
+// UAC bits, per Table 3. The low two bits are user-writable via
+// beginatom/endatom; the high two only the kernel may change.
+const (
+	UACInterruptDisable uint8 = 1 << 0 // user: defer message-available interrupts
+	UACTimerForce       uint8 = 1 << 1 // user: run atomicity timer unconditionally
+	UACDisposePending   uint8 = 1 << 2 // kernel: set in message-available stub, reset by dispose
+	UACAtomicityExtend  uint8 = 1 << 3 // kernel: trap at end of atomic section
+
+	uacUserBits = UACInterruptDisable | UACTimerForce
+)
+
+// Interrupts carries the NI's interrupt lines. The kernel wires these to CPU
+// IRQ vectors; unconnected lines are permitted in unit tests.
+type Interrupts struct {
+	// MessageAvailable is the user-level interrupt: a message for the
+	// current GID is at the head of the queue and user interrupts are
+	// enabled.
+	MessageAvailable func()
+	// MismatchAvailable is the kernel interrupt: the head message carries a
+	// mismatched GID, a kernel message, or divert-mode is set.
+	MismatchAvailable func()
+	// AtomicityTimeout is the kernel interrupt: the atomicity timer expired.
+	AtomicityTimeout func()
+}
+
+// Config sets the hardware parameters of an NI.
+type Config struct {
+	InputQueueDepth int    // messages buffered in the receive queue
+	OutputWords     int    // send descriptor buffer capacity (16 in FUGU)
+	TimerPreset     uint64 // atomicity-timeout preset value
+	DrainPerWord    uint64 // cycles per word to drain the output buffer
+}
+
+// DefaultConfig mirrors the FUGU hardware: a small single input queue and a
+// 16-word send descriptor. The timer preset is a free parameter of the
+// design ("may be changed without affecting correctness"); 2000 cycles is
+// comfortably above any reasonable handler.
+func DefaultConfig() Config {
+	return Config{InputQueueDepth: 16, OutputWords: 16, TimerPreset: 2000, DrainPerWord: 1}
+}
+
+// NI is one node's network interface.
+type NI struct {
+	eng  *sim.Engine
+	net  *mesh.Net
+	node int
+	cfg  Config
+	intr Interrupts
+
+	// Receive side.
+	in           []*mesh.Packet
+	headSignaled bool
+
+	// Send side.
+	out         []uint64
+	outBusyTill uint64
+	spaceWait   *sim.Cond // procs blocked for output drain (blocking stores)
+
+	// Protection and control state (kernel-managed except UAC user bits).
+	gid    GID
+	divert bool
+	uac    uint8
+
+	timer atomicityTimer
+
+	// Statistics.
+	arrived   uint64
+	refused   uint64
+	launched  uint64
+	disposed  uint64
+	kdisposed uint64
+}
+
+// New creates an NI for node and registers it as the node's endpoint on the
+// main logical network.
+func New(eng *sim.Engine, net *mesh.Net, node int, cfg Config) *NI {
+	ni := &NI{eng: eng, net: net, node: node, cfg: cfg}
+	ni.spaceWait = sim.NewCond(eng)
+	ni.timer.init(eng, cfg.TimerPreset, ni)
+	net.Register(node, mesh.Main, ni)
+	return ni
+}
+
+// SetInterrupts wires the NI's interrupt lines.
+func (ni *NI) SetInterrupts(i Interrupts) { ni.intr = i }
+
+// Node returns the node number this NI serves.
+func (ni *NI) Node() int { return ni.node }
+
+// OutputWords returns the send descriptor buffer capacity in words.
+func (ni *NI) OutputWords() int { return ni.cfg.OutputWords }
+
+// AttachCPU registers the NI as a run listener so the atomicity timer can
+// count user cycles only, per Table 3.
+func (ni *NI) AttachCPU(c *cpu.CPU) { c.AddRunListener(&ni.timer) }
+
+// ---------------------------------------------------------------------------
+// Receive side
+
+// Arrive implements mesh.Endpoint: the network offers the next in-order
+// packet; a full input queue refuses it (backpressure into the network).
+func (ni *NI) Arrive(pkt *mesh.Packet) bool {
+	if len(ni.in) >= ni.cfg.InputQueueDepth {
+		ni.refused++
+		return false
+	}
+	ni.arrived++
+	ni.in = append(ni.in, pkt)
+	if len(ni.in) == 1 {
+		ni.headSignaled = false
+	}
+	ni.evaluate()
+	return true
+}
+
+// MessageAvailable returns the user-visible message-available flag: a
+// message for the current GID is at the head and the buffered path is not
+// engaged.
+func (ni *NI) MessageAvailable() bool {
+	return ni.headMatches()
+}
+
+// headMatches reports whether the head message belongs to the current user.
+func (ni *NI) headMatches() bool {
+	if ni.divert || len(ni.in) == 0 {
+		return false
+	}
+	h := ni.in[0].Words[0]
+	return !HeaderIsKernel(h) && HeaderGID(h) == ni.gid
+}
+
+// HeadLen returns the length in words of the head message, or 0 if none.
+func (ni *NI) HeadLen() int {
+	if len(ni.in) == 0 {
+		return 0
+	}
+	return len(ni.in[0].Words)
+}
+
+// ReadWord returns word i of the head message (the input message window).
+// Reading with no message present returns 0, as reading garbage registers
+// would; protected software never does this.
+func (ni *NI) ReadWord(i int) uint64 {
+	if len(ni.in) == 0 || i >= len(ni.in[0].Words) {
+		return 0
+	}
+	return ni.in[0].Words[i]
+}
+
+// HeadPacket exposes the head packet to kernel software (the
+// mismatch-available handler demultiplexes from it). Returns nil if empty.
+func (ni *NI) HeadPacket() *mesh.Packet {
+	if len(ni.in) == 0 {
+		return nil
+	}
+	return ni.in[0]
+}
+
+// QueueLen reports how many messages sit in the input queue.
+func (ni *NI) QueueLen() int { return len(ni.in) }
+
+// Dispose implements the user dispose operation of Table 1: under divert it
+// traps dispose-extend so the OS can emulate disposal from the software
+// buffer; with no matching message it traps bad-dispose; otherwise it
+// deletes the head message, clears dispose-pending and presets the
+// atomicity timer.
+func (ni *NI) Dispose() Trap {
+	if ni.divert {
+		return TrapDisposeExtend
+	}
+	if !ni.MessageAvailable() {
+		return TrapBadDispose
+	}
+	ni.disposed++
+	ni.popHead()
+	ni.uac &^= UACDisposePending
+	ni.timer.preset()
+	ni.evaluate()
+	return TrapNone
+}
+
+// KDispose removes the head message with kernel privilege (the buffered-path
+// insertion handler uses it after copying the message to memory).
+func (ni *NI) KDispose() {
+	if len(ni.in) == 0 {
+		panic("nic: KDispose with empty queue")
+	}
+	ni.kdisposed++
+	ni.popHead()
+	ni.evaluate()
+}
+
+func (ni *NI) popHead() {
+	copy(ni.in, ni.in[1:])
+	ni.in[len(ni.in)-1] = nil
+	ni.in = ni.in[:len(ni.in)-1]
+	ni.headSignaled = false
+	ni.net.NotifySpace(ni.node, mesh.Main)
+}
+
+// evaluate recomputes the interrupt lines after any state change: arrival,
+// disposal, UAC write, or a kernel change to GID/divert. At most one
+// interrupt is raised per head message per routing decision.
+func (ni *NI) evaluate() {
+	defer ni.timer.update()
+	if len(ni.in) == 0 {
+		return
+	}
+	if ni.headMatches() {
+		if ni.uac&UACInterruptDisable == 0 && !ni.headSignaled {
+			ni.headSignaled = true
+			if ni.intr.MessageAvailable != nil {
+				ni.intr.MessageAvailable()
+			}
+		}
+		return
+	}
+	// Mismatched GID, kernel message, or divert mode: kernel interrupt.
+	if !ni.headSignaled {
+		ni.headSignaled = true
+		if ni.intr.MismatchAvailable != nil {
+			ni.intr.MismatchAvailable()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Send side
+
+// SpaceAvailable returns how many descriptor words may be written without
+// blocking, the space-available register used to implement injectc.
+func (ni *NI) SpaceAvailable() int {
+	if ni.eng.Now() < ni.outBusyTill {
+		return 0
+	}
+	return ni.cfg.OutputWords - len(ni.out)
+}
+
+// OutputReadyAt returns the time the output buffer finishes draining; the
+// udm layer parks blocking injectors until then.
+func (ni *NI) OutputReadyAt() uint64 { return ni.outBusyTill }
+
+// Describe appends words to the output descriptor buffer. The caller must
+// have checked SpaceAvailable (blocking-store semantics live in the udm
+// layer, which parks until OutputReadyAt).
+func (ni *NI) Describe(words ...uint64) {
+	if len(ni.out)+len(words) > ni.cfg.OutputWords {
+		panic(fmt.Sprintf("nic: descriptor overflow (%d+%d > %d)", len(ni.out), len(words), ni.cfg.OutputWords))
+	}
+	ni.out = append(ni.out, words...)
+}
+
+// DescriptorLength returns the descriptor-length register: words currently
+// described and not yet launched (the state a context switch would swap).
+func (ni *NI) DescriptorLength() int { return len(ni.out) }
+
+// ClearDescriptor abandons the current descriptor (kernel context-switch
+// path: the descriptor is unloaded and later reloaded via Describe).
+func (ni *NI) ClearDescriptor() []uint64 {
+	d := ni.out
+	ni.out = nil
+	return d
+}
+
+// Launch implements the launch operation of Table 1. With user privilege a
+// kernel-message header takes a protection-violation trap. An empty
+// descriptor makes launch a no-op, per the table. On success the hardware
+// stamps the GID (the caller's GID for users, the given one for the kernel)
+// and commits the message to the network atomically.
+func (ni *NI) Launch(kernelPriv bool) Trap {
+	if len(ni.out) == 0 {
+		return TrapNone
+	}
+	h := ni.out[0]
+	if !kernelPriv {
+		if HeaderIsKernel(h) {
+			return TrapProtectionViolation
+		}
+		h = stampGID(h, ni.gid)
+	} else if !HeaderIsKernel(h) && HeaderGID(h) == 0 {
+		// Kernel sending on behalf of itself without a stamp: kernel GID.
+		h = stampGID(h, KernelGID)
+	}
+	words := make([]uint64, len(ni.out))
+	copy(words, ni.out)
+	words[0] = h
+	ni.out = ni.out[:0]
+	ni.launched++
+
+	// The output buffer drains at link rate; until then space-available
+	// reads zero and blocking stores stall.
+	drain := ni.cfg.DrainPerWord * uint64(len(words))
+	start := ni.eng.Now()
+	if ni.outBusyTill > start {
+		start = ni.outBusyTill
+	}
+	ni.outBusyTill = start + drain
+	ni.eng.Schedule(ni.outBusyTill-ni.eng.Now(), func() { ni.spaceWait.Broadcast() })
+
+	ni.net.Send(mesh.Main, ni.node, HeaderDst(h), words)
+	return TrapNone
+}
+
+// SpaceCond returns the condition signalled when the output buffer drains.
+func (ni *NI) SpaceCond() *sim.Cond { return ni.spaceWait }
+
+// ---------------------------------------------------------------------------
+// Atomicity control
+
+// BeginAtom implements beginatom(MASK): UAC |= MASK. User privilege may only
+// touch the user bits; touching kernel bits is a protection violation.
+func (ni *NI) BeginAtom(mask uint8, kernelPriv bool) Trap {
+	if !kernelPriv && mask&^uacUserBits != 0 {
+		return TrapProtectionViolation
+	}
+	ni.uac |= mask
+	ni.evaluate()
+	return TrapNone
+}
+
+// EndAtom implements endatom(MASK) with the trap rules of Table 1:
+// dispose-pending set traps dispose-failure (the handler exited without
+// freeing a message); atomicity-extend set traps so the OS regains control;
+// otherwise the bits clear and pending messages may now interrupt.
+func (ni *NI) EndAtom(mask uint8, kernelPriv bool) Trap {
+	if !kernelPriv && mask&^uacUserBits != 0 {
+		return TrapProtectionViolation
+	}
+	if ni.uac&UACDisposePending != 0 {
+		return TrapDisposeFailure
+	}
+	if ni.uac&UACAtomicityExtend != 0 {
+		return TrapAtomicityExtend
+	}
+	ni.uac &^= mask
+	ni.evaluate()
+	return TrapNone
+}
+
+// UAC returns the atomicity control register.
+func (ni *NI) UAC() uint8 { return ni.uac }
+
+// SetUACKernel sets or clears a kernel UAC bit (dispose-pending or
+// atomicity-extend) with kernel privilege.
+func (ni *NI) SetUACKernel(bit uint8, on bool) {
+	if on {
+		ni.uac |= bit
+	} else {
+		ni.uac &^= bit
+	}
+	ni.evaluate()
+}
+
+// ClearUAC resets the whole register (kernel, on context switch).
+func (ni *NI) ClearUAC() {
+	ni.uac = 0
+	ni.evaluate()
+}
+
+// RestoreUAC installs a saved register image (kernel, on context switch).
+func (ni *NI) RestoreUAC(v uint8) {
+	ni.uac = v
+	ni.evaluate()
+}
+
+// ---------------------------------------------------------------------------
+// Kernel registers
+
+// GID returns the current application GID register.
+func (ni *NI) GID() GID { return ni.gid }
+
+// SetGID installs the scheduled application's GID (kernel, context switch).
+func (ni *NI) SetGID(g GID) {
+	ni.gid = g
+	ni.headSignaled = false
+	ni.evaluate()
+}
+
+// Divert returns the divert-mode bit.
+func (ni *NI) Divert() bool { return ni.divert }
+
+// SetDivert flips the buffered path on or off. With divert set every
+// incoming message interrupts the operating system and user dispose traps.
+func (ni *NI) SetDivert(on bool) {
+	if ni.divert == on {
+		return
+	}
+	ni.divert = on
+	ni.headSignaled = false
+	ni.evaluate()
+}
+
+// SetTimerPreset changes the atomicity-timeout preset value.
+func (ni *NI) SetTimerPreset(v uint64) {
+	ni.cfg.TimerPreset = v
+	ni.timer.presetVal = v
+	ni.timer.preset()
+	ni.timer.update()
+}
+
+// TimerRemaining exposes the countdown for tests and diagnostics.
+func (ni *NI) TimerRemaining() uint64 { return ni.timer.remainingNow() }
+
+// Stats reports lifetime NI counters: messages arrived, refused by a full
+// queue, launched, user-disposed and kernel-disposed.
+func (ni *NI) Stats() (arrived, refused, launched, disposed, kdisposed uint64) {
+	return ni.arrived, ni.refused, ni.launched, ni.disposed, ni.kdisposed
+}

@@ -1,0 +1,76 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineBasics(t *testing.T) {
+	out := Line("title", "x", "y", []Series{
+		{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 5, 10}},
+		{Name: "b", X: []float64{0, 1, 2}, Y: []float64{10, 5, 0}},
+	}, 40, 10)
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "o=b") {
+		t.Error("missing legend entries")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing data markers")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("output too short: %d lines", len(lines))
+	}
+}
+
+func TestLineNoData(t *testing.T) {
+	out := Line("empty", "x", "y", nil, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+func TestLineSinglePoint(t *testing.T) {
+	out := Line("one", "x", "y", []Series{{Name: "s", X: []float64{5}, Y: []float64{7}}}, 30, 8)
+	if !strings.Contains(out, "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestLineClampsTinyDimensions(t *testing.T) {
+	out := Line("tiny", "x", "y", []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}}, 1, 1)
+	if len(out) == 0 {
+		t.Error("no output for tiny raster")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "22222"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	// All rows must be padded to the same column starts.
+	h := strings.Index(lines[0], "value")
+	for _, l := range lines[2:] {
+		if len(l) < h {
+			t.Errorf("row %q shorter than header columns", l)
+		}
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Error("missing separator row")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV([]string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	want := "a,b\n1,2\n3,4\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}

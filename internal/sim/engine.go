@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine is a deterministic discrete-event simulator. It is not safe for
+// concurrent use from multiple goroutines except through the Proc baton
+// protocol, which guarantees only one coroutine touches the engine at a time.
+type Engine struct {
+	now     uint64
+	seq     uint64
+	heap    eventHeap
+	current *Proc // proc currently holding the baton, nil in engine context
+	stopped bool
+	live    int // number of live (spawned, not finished) procs
+
+	// Limit, when nonzero, bounds simulated time: Run returns once the
+	// next event would fire after Limit.
+	Limit uint64
+
+	rng *Rand
+}
+
+// NewEngine returns an engine with the given RNG seed. A zero seed is
+// replaced with a fixed default so the zero-ish configuration stays
+// deterministic.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRand(seed)}
+}
+
+// Now returns the current simulation time in cycles.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// Schedule registers fn to run at now+delay and returns a cancellable handle.
+// fn runs in engine context; it may wake procs, schedule further events, or
+// stop the engine, but must not block.
+func (e *Engine) Schedule(delay uint64, fn func()) *Event {
+	ev := &Event{at: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// ScheduleAt registers fn to run at absolute time at (which must not be in
+// the past) and returns a cancellable handle.
+func (e *Engine) ScheduleAt(at uint64, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%d) in the past (now=%d)", at, e.now))
+	}
+	return e.Schedule(at-e.now, fn)
+}
+
+// Cancel removes a pending event; cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled {
+		return
+	}
+	ev.cancelled = true
+	if ev.index >= 0 {
+		e.heap.remove(ev.index)
+	}
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Run executes events until the queue empties, Stop is called, or the time
+// Limit is exceeded. It returns the final simulation time. A Stop from a
+// previous Run does not carry over: each Run starts live.
+func (e *Engine) Run() uint64 {
+	if e.current != nil {
+		panic("sim: Run called from proc context")
+	}
+	e.stopped = false
+	for !e.stopped && e.heap.Len() > 0 {
+		ev := heap.Pop(&e.heap).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		if e.Limit != 0 && ev.at > e.Limit {
+			// Push back so a later Run with a raised Limit continues.
+			heap.Push(&e.heap, ev)
+			e.now = e.Limit
+			break
+		}
+		if ev.at < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events up to and including time t, then returns. Events
+// scheduled after t remain queued.
+func (e *Engine) RunUntil(t uint64) uint64 {
+	saved := e.Limit
+	e.Limit = t
+	e.Run()
+	e.Limit = saved
+	return e.now
+}
+
+// Pending reports how many events remain queued.
+func (e *Engine) Pending() int { return e.heap.Len() }
+
+// LiveProcs reports how many spawned procs have not yet returned. A nonzero
+// value after Run drains the queue usually indicates deadlock: procs parked
+// with nobody left to wake them.
+func (e *Engine) LiveProcs() int { return e.live }
+
+// Current returns the proc currently holding the baton, or nil when the
+// engine loop (or an event callback) is executing.
+func (e *Engine) Current() *Proc { return e.current }

@@ -1,0 +1,69 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine owns a global event queue ordered by (time, sequence) and a set
+// of coroutines (Proc) that run one at a time under a strict baton: at any
+// instant either the engine loop or exactly one Proc is executing. Given the
+// same inputs and seed, a simulation is bit-reproducible, which the
+// experiment harness relies on.
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Events are created with Engine.Schedule and
+// may be cancelled before they fire. The zero value is not a valid Event.
+type Event struct {
+	at        uint64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped or removed
+}
+
+// Time returns the simulation time at which the event is scheduled to fire.
+func (ev *Event) Time() uint64 { return ev.at }
+
+// Cancelled reports whether Cancel has been called on the event.
+func (ev *Event) Cancelled() bool { return ev.cancelled }
+
+// Pending reports whether the event is still queued and will fire.
+func (ev *Event) Pending() bool { return !ev.cancelled && ev.index >= 0 }
+
+// eventHeap is a min-heap of events ordered by (at, seq). The seq tiebreak
+// makes pop order — and therefore the whole simulation — deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// remove deletes the event at index i in O(log n).
+func (h *eventHeap) remove(i int) {
+	heap.Remove(h, i)
+}

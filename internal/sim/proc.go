@@ -1,0 +1,136 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated coroutine: a goroutine that runs only while it holds
+// the engine baton. Procs yield the baton by parking (Park, Sleep) and are
+// handed it back by events scheduled through the engine. Exactly one proc or
+// the engine loop executes at any moment, so proc code needs no locking.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	parked chan struct{}
+	done   bool
+	wake   *Event // pending wake event, if any (Sleep/WakeAfter bookkeeping)
+
+	// Tag is free for higher layers (e.g. the CPU scheduler) to attach
+	// identity to a proc; the engine never touches it.
+	Tag any
+}
+
+// Spawn creates a proc running fn and schedules its first dispatch at the
+// current time. fn runs in proc context: it may Park, Sleep, schedule events
+// and wake other procs, and it holds the baton until it yields or returns.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	e.live++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		e.live--
+		p.parked <- struct{}{}
+	}()
+	p.wake = e.Schedule(0, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch hands the baton to p and blocks (in engine context) until p parks
+// or finishes. It must only be called from engine context.
+func (e *Engine) dispatch(p *Proc) {
+	if e.current != nil {
+		panic(fmt.Sprintf("sim: dispatch(%s) while %s holds the baton", p.name, e.current.name))
+	}
+	if p.done {
+		panic(fmt.Sprintf("sim: dispatch of finished proc %s", p.name))
+	}
+	p.wake = nil
+	e.current = p
+	p.resume <- struct{}{}
+	<-p.parked
+	e.current = nil
+}
+
+// park yields the baton back to whatever dispatched this proc and blocks
+// until the next dispatch.
+func (p *Proc) park() {
+	if p.eng.current != p {
+		panic(fmt.Sprintf("sim: %s parking without the baton", p.name))
+	}
+	p.eng.current = nil
+	p.parked <- struct{}{}
+	<-p.resume
+	p.eng.current = p
+}
+
+// Park blocks the proc until some event wakes it via Engine.Wake or
+// Engine.WakeAfter. The caller must have arranged for such a wake, or the
+// proc will sleep forever (and LiveProcs will expose the leak).
+func (p *Proc) Park() { p.park() }
+
+// Sleep blocks the proc for exactly n cycles. A Sleep cannot be interrupted;
+// preemptible waiting is built by higher layers from WakeAfter + CancelWake.
+func (p *Proc) Sleep(n uint64) {
+	p.eng.WakeAfter(p, n)
+	p.park()
+}
+
+// Yield parks the proc and schedules it to resume at the current time, after
+// any events already queued for this instant. It models giving way without
+// consuming simulated time.
+func (p *Proc) Yield() {
+	p.eng.WakeAfter(p, 0)
+	p.park()
+}
+
+// Name returns the proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Done reports whether the proc's function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Now is a convenience for p.Engine().Now().
+func (p *Proc) Now() uint64 { return p.eng.now }
+
+// Wake schedules p to be dispatched at the current simulation time. It is
+// the only way code outside a proc hands it the baton. Waking a proc that
+// already has a pending wake is a bug in the caller and panics, because a
+// double dispatch would corrupt the baton protocol.
+func (e *Engine) Wake(p *Proc) *Event {
+	return e.WakeAfter(p, 0)
+}
+
+// WakeAfter schedules p to be dispatched after delay cycles and returns the
+// event so the caller may cancel it (the basis of preemptible sleeps).
+func (e *Engine) WakeAfter(p *Proc, delay uint64) *Event {
+	if p.wake != nil && p.wake.Pending() {
+		panic(fmt.Sprintf("sim: proc %s woken twice", p.name))
+	}
+	ev := e.Schedule(delay, func() { e.dispatch(p) })
+	p.wake = ev
+	return ev
+}
+
+// CancelWake cancels p's pending wake, if any, and reports whether a pending
+// wake existed. After a successful CancelWake the caller owns the
+// responsibility of waking p again.
+func (e *Engine) CancelWake(p *Proc) bool {
+	if p.wake != nil && p.wake.Pending() {
+		e.Cancel(p.wake)
+		p.wake = nil
+		return true
+	}
+	return false
+}
+
+// HasPendingWake reports whether p has a wake event queued.
+func (p *Proc) HasPendingWake() bool { return p.wake != nil && p.wake.Pending() }

@@ -1,0 +1,205 @@
+package sim
+
+import "testing"
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine(1)
+	var times []uint64
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10)
+			times = append(times, p.Now())
+		}
+	})
+	e.Run()
+	want := []uint64{10, 20, 30}
+	for i, w := range want {
+		if times[i] != w {
+			t.Fatalf("wake times = %v, want %v", times, want)
+		}
+	}
+	if e.LiveProcs() != 0 {
+		t.Errorf("LiveProcs = %d after completion, want 0", e.LiveProcs())
+	}
+}
+
+func TestTwoProcsInterleave(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10)
+			order = append(order, "a")
+		}
+	})
+	e.Spawn("b", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(15)
+			order = append(order, "b")
+		}
+	})
+	e.Run()
+	got := ""
+	for _, s := range order {
+		got += s
+	}
+	// a wakes at 10,20,30; b at 15,30,45. At the t=30 tie, b's wake was
+	// scheduled earlier (when b parked at 15) so b runs first.
+	if got != "ababab" {
+		t.Errorf("interleave = %q, want ababab", got)
+	}
+}
+
+func TestParkAndWake(t *testing.T) {
+	e := NewEngine(1)
+	var woke uint64
+	p := e.Spawn("parker", func(p *Proc) {
+		p.Park()
+		woke = p.Now()
+	})
+	e.Schedule(100, func() { e.Wake(p) })
+	e.Run()
+	if woke != 100 {
+		t.Errorf("woke at %d, want 100", woke)
+	}
+}
+
+func TestCancelWake(t *testing.T) {
+	e := NewEngine(1)
+	var woke uint64
+	p := e.Spawn("p", func(p *Proc) {
+		// Arranged wake at 50 will be cancelled and replaced by one at 80.
+		p.Engine().WakeAfter(p, 50)
+		p.Park()
+		woke = p.Now()
+	})
+	e.Schedule(10, func() {
+		if !e.CancelWake(p) {
+			t.Error("CancelWake found no pending wake")
+		}
+		e.WakeAfter(p, 70) // 10+70 = 80
+	})
+	e.Run()
+	if woke != 80 {
+		t.Errorf("woke at %d, want 80", woke)
+	}
+}
+
+func TestDoubleWakePanics(t *testing.T) {
+	e := NewEngine(1)
+	p := e.Spawn("p", func(p *Proc) { p.Park() })
+	e.Schedule(5, func() {
+		e.Wake(p)
+		defer func() {
+			if recover() == nil {
+				t.Error("double wake did not panic")
+			}
+		}()
+		e.Wake(p)
+	})
+	e.Run()
+	_ = p
+}
+
+func TestYieldRunsAfterQueuedEvents(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Spawn("y", func(p *Proc) {
+		p.Sleep(10)
+		order = append(order, "proc-before")
+		// An event queued for this same instant must run during the Yield.
+		e.Schedule(0, func() { order = append(order, "event") })
+		p.Yield()
+		order = append(order, "proc-after")
+	})
+	e.Run()
+	want := []string{"proc-before", "event", "proc-after"}
+	for i, w := range want {
+		if i >= len(order) || order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestLiveProcsLeakDetection(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("stuck", func(p *Proc) { p.Park() }) // never woken
+	e.Spawn("fine", func(p *Proc) { p.Sleep(5) })
+	e.Run()
+	if e.LiveProcs() != 1 {
+		t.Errorf("LiveProcs = %d, want 1 (the stuck proc)", e.LiveProcs())
+	}
+}
+
+func TestProcTagAndName(t *testing.T) {
+	e := NewEngine(1)
+	p := e.Spawn("tagged", func(p *Proc) {
+		p.Tag = 42
+	})
+	e.Run()
+	if p.Name() != "tagged" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Tag != 42 {
+		t.Errorf("Tag = %v, want 42", p.Tag)
+	}
+	if !p.Done() {
+		t.Error("Done = false after run")
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	e := NewEngine(1)
+	var childRan uint64
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(10)
+		e.Spawn("child", func(c *Proc) {
+			c.Sleep(5)
+			childRan = c.Now()
+		})
+		p.Sleep(100)
+	})
+	e.Run()
+	if childRan != 15 {
+		t.Errorf("child ran at %d, want 15", childRan)
+	}
+}
+
+func TestCondFIFO(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("w", func(p *Proc) {
+			p.Sleep(uint64(i + 1)) // stagger arrival order
+			c.Wait(p)
+			order = append(order, i)
+		})
+	}
+	e.Schedule(100, func() {
+		if c.Waiters() != 3 {
+			t.Errorf("Waiters = %d, want 3", c.Waiters())
+		}
+		c.Signal()
+	})
+	e.Schedule(200, func() { c.Broadcast() })
+	e.Run()
+	want := []int{0, 1, 2}
+	for i, w := range want {
+		if i >= len(order) || order[i] != w {
+			t.Fatalf("wake order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCondSignalEmpty(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	if c.Signal() {
+		t.Error("Signal on empty cond returned true")
+	}
+	if n := c.Broadcast(); n != 0 {
+		t.Errorf("Broadcast on empty cond = %d, want 0", n)
+	}
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(1, 0, Mode, "ignored")
+	if l.Enabled(Mode) {
+		t.Error("nil log claims enabled")
+	}
+	if l.Total() != 0 || l.Events() != nil {
+		t.Error("nil log recorded something")
+	}
+}
+
+func TestDisabledCategoryDropped(t *testing.T) {
+	l := New(8)
+	l.Enable(Mode)
+	l.Add(1, 0, Mode, "kept")
+	l.Add(2, 0, Sched, "dropped")
+	evs := l.Events()
+	if len(evs) != 1 || evs[0].What != "kept" {
+		t.Errorf("events = %v", evs)
+	}
+}
+
+func TestRingKeepsNewest(t *testing.T) {
+	l := New(3)
+	l.EnableAll()
+	for i := 0; i < 10; i++ {
+		l.Add(uint64(i), 0, Mode, "e%d", i)
+	}
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	want := []string{"e7", "e8", "e9"}
+	for i, w := range want {
+		if evs[i].What != w {
+			t.Errorf("evs[%d] = %s, want %s", i, evs[i].What, w)
+		}
+	}
+	if l.Total() != 10 {
+		t.Errorf("total = %d, want 10", l.Total())
+	}
+}
+
+func TestDumpMentionsDropped(t *testing.T) {
+	l := New(2)
+	l.EnableAll()
+	for i := 0; i < 5; i++ {
+		l.Add(uint64(i), 1, Overflow, "x")
+	}
+	d := l.Dump()
+	if !strings.Contains(d, "3 earlier events dropped") {
+		t.Errorf("dump = %q", d)
+	}
+	if !strings.Contains(d, "overflow") {
+		t.Error("dump missing category name")
+	}
+}
+
+func TestChronologicalOrderBeforeWrap(t *testing.T) {
+	l := New(10)
+	l.EnableAll()
+	l.Add(5, 0, Mode, "a")
+	l.Add(6, 1, Sched, "b")
+	evs := l.Events()
+	if len(evs) != 2 || evs[0].What != "a" || evs[1].What != "b" {
+		t.Errorf("events = %v", evs)
+	}
+	if evs[1].Node != 1 {
+		t.Error("node lost")
+	}
+}

@@ -1,0 +1,188 @@
+package udm
+
+import (
+	"fmt"
+
+	"fugu/internal/cpu"
+	"fugu/internal/nic"
+)
+
+// upcall is the body of the process's message-handling activity, installed
+// as glaze.Process.Upcall. The kernel signals it on message-available
+// interrupts, on buffer inserts and on mode transitions; it delivers every
+// message it may and returns.
+func (ep *EP) upcall(t *cpu.Task) {
+	for {
+		switch {
+		case ep.p.CanDeliverBuffered():
+			ep.deliverBuffered(t)
+		case ep.p.CanDeliverFast() && ep.p.NI().UAC()&nic.UACInterruptDisable == 0:
+			// A user-level message interrupt: the head is ours and the
+			// application has interrupts enabled.
+			ep.deliverInterrupt(t)
+		default:
+			return
+		}
+	}
+}
+
+// extract reads the head message through the transparent-access
+// indirection, charging perWordCost per argument word, and disposes it.
+// By the time it returns, the message is out of the queue and the handler
+// may run and inject freely.
+func (ep *EP) extract(t *cpu.Task, perWordCost uint64) *Msg {
+	p := ep.p
+	fast := !p.Buffered()
+	n := p.MsgLen()
+	if n < 2 {
+		panic(fmt.Sprintf("udm: malformed message of %d words", n))
+	}
+	m := &Msg{Handler: p.MsgWord(1), Fast: fast, Args: make([]uint64, n-2)}
+	for i := range m.Args {
+		m.Args[i] = p.MsgWord(2 + i)
+	}
+	if c := perWordCost * uint64(len(m.Args)); c > 0 {
+		t.Spend(c)
+	}
+	p.Kernel().UserDispose(t, p)
+	return m
+}
+
+// run dispatches the message to its registered handler.
+func (ep *EP) run(t *cpu.Task, m *Msg) {
+	h, ok := ep.handlers[m.Handler]
+	if !ok {
+		panic(fmt.Sprintf("udm: node %d: no handler registered for id %d", ep.Node(), m.Handler))
+	}
+	ep.Delivered++
+	h(&Env{T: t, EP: ep, inHandler: true}, m)
+}
+
+// deliverInterrupt is the fast-path interrupt receive of Table 4: stub
+// overhead, atomic handler execution, cleanup.
+func (ep *EP) deliverInterrupt(t *cpu.Task) {
+	defer ep.observeDelivery(t, t.Consumed())
+	p := ep.p
+	ni := p.NI()
+	t.Spend(ep.cost.RecvIntrPre())
+	// The message-available stub starts the handler in an atomic section
+	// and requires it to free a message before leaving it.
+	if trap := ni.BeginAtom(nic.UACInterruptDisable, false); trap != nic.TrapNone {
+		panic(fmt.Sprintf("udm: handler beginatom trapped %v", trap))
+	}
+	ni.SetUACKernel(nic.UACDisposePending, true)
+	m := ep.extract(t, ep.cost.RecvPerArg) // includes the dispose
+	t.Spend(ep.cost.NullHandler)
+	if m.Fast {
+		// Buffered messages were already tallied at kernel insert time;
+		// counting here too would double-book a mid-read mode flip.
+		p.Deliv.Fast++
+	}
+	ep.run(t, m)
+	p.Kernel().UserEndAtom(t, p, nic.UACInterruptDisable)
+	t.Spend(ep.cost.RecvIntrPost())
+}
+
+// deliverPolled is the polling receive of Table 4 (9 cycles for a null
+// message). The caller must hold atomicity; the Poll cycle itself has
+// already been charged by Poll.
+func (ep *EP) deliverPolled(t *cpu.Task) {
+	defer ep.observeDelivery(t, t.Consumed())
+	p := ep.p
+	t.Spend(ep.cost.PollDispatch)
+	var m *Msg
+	if !p.Buffered() {
+		m = ep.extract(t, ep.cost.RecvPerArg)
+		t.Spend(ep.cost.PollNullHandler)
+	} else {
+		m = ep.extract(t, ep.cost.BufferedPerArgTimes2/2)
+		t.Spend(ep.cost.BufferedNullHandler)
+	}
+	if m.Fast {
+		p.Deliv.Fast++
+	}
+	ep.run(t, m)
+}
+
+// deliverBuffered executes one handler from the software buffer (Table 5:
+// 52 cycles plus ~4.5 per argument word). Handler atomicity comes from the
+// elevated priority of the message-handling task, not from the UAC.
+func (ep *EP) deliverBuffered(t *cpu.Task) {
+	defer ep.observeDelivery(t, t.Consumed())
+	t.Spend(ep.cost.BufferedNullHandler)
+	m := ep.extract(t, ep.cost.BufferedPerArgTimes2/2)
+	ep.run(t, m)
+}
+
+// observeDelivery records the cycles one delivery consumed — dispatch,
+// extraction and handler body together, the quantity Table 6 calls T_hand.
+func (ep *EP) observeDelivery(t *cpu.Task, before uint64) {
+	ep.HandlerCycles.Observe(float64(t.Consumed() - before))
+}
+
+// Poll checks for and delivers at most one message in the caller's context:
+// the polling notification mode of the UDM model. The caller must be inside
+// an atomic section (BeginAtomic), or delivery would race the interrupt
+// path. Returns whether a message was handled.
+func (e *Env) Poll() bool {
+	ep := e.EP
+	if !e.Atomic() && !ep.p.AtomicVirtual() {
+		panic("udm: Poll outside an atomic section")
+	}
+	e.T.Spend(ep.cost.Poll)
+	if !ep.p.HaveMessage() {
+		return false
+	}
+	ep.deliverPolled(e.T)
+	return true
+}
+
+// PollWait polls until at least one message has been handled. It burns
+// poll cycles, which is what a polling processor does.
+func (e *Env) PollWait() {
+	for !e.Poll() {
+	}
+}
+
+// Peek examines the next pending message without extracting it — the UDM
+// peek operation. It returns nil when no message is available. Like Poll,
+// the caller must hold atomicity; a later Poll (or handler dispatch after
+// EndAtomic) performs the actual extraction.
+func (e *Env) Peek() *Msg {
+	ep := e.EP
+	if !e.Atomic() && !ep.p.AtomicVirtual() {
+		panic("udm: Peek outside an atomic section")
+	}
+	e.T.Spend(ep.cost.Poll)
+	p := ep.p
+	if !p.HaveMessage() {
+		return nil
+	}
+	n := p.MsgLen()
+	m := &Msg{Handler: p.MsgWord(1), Fast: !p.Buffered(), Args: make([]uint64, n-2)}
+	for i := range m.Args {
+		m.Args[i] = p.MsgWord(2 + i)
+	}
+	var perWord uint64
+	if m.Fast {
+		perWord = ep.cost.RecvPerArg
+	} else {
+		perWord = ep.cost.BufferedPerArgTimes2 / 2
+	}
+	if c := perWord * uint64(len(m.Args)); c > 0 {
+		e.T.Spend(c)
+	}
+	return m
+}
+
+// Spawn converts work into a user thread of the process — the UDM model's
+// handler-to-thread conversion ("message handlers are occasionally or
+// routinely converted to threads after executing only the minimal code
+// required to communicate with the network interface"). The thread runs at
+// ordinary user priority once the handler completes.
+func (e *Env) Spawn(name string, fn func(e *Env)) {
+	ep := e.EP
+	ep.p.SpawnThread(name, func(t *cpu.Task) {
+		fn(&Env{T: t, EP: ep})
+	})
+}

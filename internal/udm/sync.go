@@ -1,0 +1,36 @@
+package udm
+
+import "fugu/internal/cpu"
+
+// Counter is the user-level thread synchronization primitive the
+// applications build on: handlers bump it, threads sleep until it reaches a
+// target. It models a thread scheduler condition variable in the paper's
+// lightweight user-level thread system. It is per-node state (no messaging
+// of its own).
+type Counter struct {
+	n uint64
+	q *cpu.WaitQ
+}
+
+// NewCounter returns a zeroed counter.
+func NewCounter() *Counter {
+	return &Counter{q: cpu.NewWaitQ("counter")}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Add increments the counter and wakes every waiter to re-check its target.
+func (c *Counter) Add(delta uint64) {
+	c.n += delta
+	c.q.WakeAll()
+}
+
+// WaitFor blocks the task until the counter reaches target. Handlers (which
+// run at elevated priority on the same CPU) make progress while the task
+// sleeps.
+func (c *Counter) WaitFor(t *cpu.Task, target uint64) {
+	for c.n < target {
+		c.q.Wait(t)
+	}
+}

@@ -1,0 +1,197 @@
+// Package udm is the user-level half of the UDM (User Direct Messaging)
+// model: message injection and extraction, explicit atomicity control, and
+// the handler-dispatch runtime that serves as the user-level interrupt.
+//
+// In the common case the library talks straight to the network interface —
+// that is the fast case of two-case delivery. When the kernel has shifted
+// the process to buffered mode, the very same calls transparently read the
+// software buffer instead (the base-register indirection of Section 4.3);
+// application code cannot tell the difference except in cycles.
+package udm
+
+import (
+	"fmt"
+
+	"fugu/internal/cpu"
+	"fugu/internal/glaze"
+	"fugu/internal/nic"
+	"fugu/internal/stats"
+)
+
+// Handler is a user message handler, invoked once per incoming message with
+// the handler environment and the extracted message. Handlers run in an
+// atomic section (interrupt-model semantics) or at elevated priority
+// (buffered mode); either way they are atomic with respect to other
+// handlers and threads of the same process.
+type Handler func(e *Env, m *Msg)
+
+// Msg is one extracted message. The wrapper has already read the words out
+// of the network interface (or the buffered copy) and disposed the message,
+// so handlers are free to inject.
+type Msg struct {
+	Handler uint64   // handler address word
+	Args    []uint64 // payload words
+	Fast    bool     // true if delivered on the direct path
+	Bulk    bool     // true if reassembled from a bulk transfer
+}
+
+// Env is the execution environment passed to handlers and application
+// threads: the simulated task plus the endpoint.
+type Env struct {
+	T         *cpu.Task
+	EP        *EP
+	inHandler bool
+}
+
+// Node returns the local node index.
+func (e *Env) Node() int { return e.EP.Node() }
+
+// Nodes returns the machine size.
+func (e *Env) Nodes() int { return e.EP.p.Kernel().Machine().Net.Nodes() }
+
+// InHandler reports whether this environment is executing a message handler.
+func (e *Env) InHandler() bool { return e.inHandler }
+
+// EP is a process's UDM endpoint: the user-level runtime bound to one
+// glaze process on one node.
+type EP struct {
+	p        *glaze.Process
+	cost     glaze.CostModel
+	handlers map[uint64]Handler
+
+	// Bulk-transfer reassembly state.
+	bulk     map[uint64]*bulkXfer
+	nextXfer uint32
+
+	// Statistics.
+	Sent          uint64
+	Delivered     uint64     // messages run through handlers on this node
+	HandlerCycles stats.Mean // cycles per delivery, handler body included
+}
+
+// Attach builds the endpoint for a process and installs its upcall (the
+// message-handling activity the kernel signals).
+func Attach(p *glaze.Process) *EP {
+	ep := &EP{
+		p:        p,
+		cost:     p.Kernel().Cost(),
+		handlers: make(map[uint64]Handler),
+	}
+	p.Upcall = ep.upcall
+	ep.registerBulk()
+	return ep
+}
+
+// Process exposes the underlying kernel process (stats, mode).
+func (ep *EP) Process() *glaze.Process { return ep.p }
+
+// Node returns the endpoint's node index.
+func (ep *EP) Node() int { return ep.p.Node() }
+
+// MaxArgs returns the largest argument count a single message can carry,
+// set by the NI's send descriptor capacity. Larger transfers are chunked by
+// higher layers (FUGU used a DMA engine for bulk data).
+func (ep *EP) MaxArgs() int { return ep.p.NI().OutputWords() - 2 }
+
+// On registers a handler for a handler-address word. Registration must
+// precede any message carrying the id; it models loading the handler's code
+// address.
+func (ep *EP) On(id uint64, h Handler) {
+	if _, dup := ep.handlers[id]; dup {
+		panic(fmt.Sprintf("udm: duplicate handler id %d", id))
+	}
+	ep.handlers[id] = h
+}
+
+// Env makes a handler environment for application thread code.
+func (ep *EP) Env(t *cpu.Task) *Env { return &Env{T: t, EP: ep} }
+
+// ---------------------------------------------------------------------------
+// Injection
+
+// Inject sends a message: the blocking inject of the UDM model. It stalls
+// (spending cycles, as a blocked store does) while the output interface
+// drains, honours overflow-control throttling, and charges the Table 4 send
+// cost: 7 cycles for a null message plus 3 per argument word.
+func (e *Env) Inject(dst int, handler uint64, args ...uint64) {
+	e.EP.inject(e.T, dst, handler, args)
+}
+
+// InjectC is the conditional, non-blocking inject: it reports false without
+// sending if the interface cannot accept the message right now.
+func (e *Env) InjectC(dst int, handler uint64, args ...uint64) bool {
+	ep := e.EP
+	if ep.p.Throttled() {
+		return false
+	}
+	if ep.p.NI().SpaceAvailable() < len(args)+2 {
+		return false
+	}
+	ep.injectReady(e.T, dst, handler, args)
+	return true
+}
+
+func (ep *EP) inject(t *cpu.Task, dst int, handler uint64, args []uint64) {
+	ep.p.WaitThrottle(t)
+	ni := ep.p.NI()
+	need := len(args) + 2
+	for ni.SpaceAvailable() < need {
+		// Blocking-store semantics: the processor stalls a cycle at a time
+		// until the descriptor buffer drains. Interrupts still preempt.
+		t.Spend(1)
+		ep.p.WaitThrottle(t)
+	}
+	ep.injectReady(t, dst, handler, args)
+}
+
+// injectReady performs describe+launch once space is known to be available.
+func (ep *EP) injectReady(t *cpu.Task, dst int, handler uint64, args []uint64) {
+	ni := ep.p.NI()
+	t.Spend(ep.cost.SendCost(len(args)))
+	words := make([]uint64, 0, len(args)+2)
+	words = append(words, nic.MakeHeader(dst), handler)
+	words = append(words, args...)
+	ni.Describe(words...)
+	if trap := ni.Launch(false); trap != nic.TrapNone {
+		panic(fmt.Sprintf("udm: launch trapped %v", trap))
+	}
+	ep.Sent++
+}
+
+// ---------------------------------------------------------------------------
+// Atomicity
+
+// BeginAtomic enters an atomic section: message interrupts are deferred and
+// the application may poll. Maps to beginatom(interrupt-disable).
+func (e *Env) BeginAtomic() {
+	e.T.Spend(1)
+	if trap := e.EP.p.NI().BeginAtom(nic.UACInterruptDisable, false); trap != nic.TrapNone {
+		panic(fmt.Sprintf("udm: beginatom trapped %v", trap))
+	}
+}
+
+// EndAtomic leaves an atomic section; a pending message may immediately
+// interrupt. Under virtual atomicity this is where the kernel regains
+// control (the atomicity-extend trap) and resumes buffered delivery.
+func (e *Env) EndAtomic() {
+	e.T.Spend(1)
+	e.EP.p.Kernel().UserEndAtom(e.T, e.EP.p, nic.UACInterruptDisable)
+}
+
+// Atomic reports whether the process currently holds user atomicity.
+func (e *Env) Atomic() bool {
+	return e.EP.p.NI().UAC()&nic.UACInterruptDisable != 0
+}
+
+// Touch accesses a data address, taking a demand zero-fill page fault if
+// the page is not resident. A fault inside a handler forces the process
+// into buffered mode, one of the paper's three transition causes.
+func (e *Env) Touch(addr uint64) {
+	e.EP.p.Kernel().Touch(e.T, e.EP.p, addr, e.inHandler)
+}
+
+// Spend consumes computation cycles (application work).
+func (e *Env) Spend(n uint64) { e.T.Spend(n) }
+
+// Now returns the simulation time.
+func (e *Env) Now() uint64 { return e.T.Now() }

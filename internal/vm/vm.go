@@ -1,0 +1,194 @@
+// Package vm is the virtual-memory substrate for virtual buffering: per-node
+// physical frame accounting and per-process address spaces with demand
+// zero-fill page allocation, the model Glaze needs (the paper's Glaze
+// supports no disk paging either — pages are allocated and zero-filled on
+// demand, and the frame pool is the scarce resource the overflow-control
+// mechanism protects).
+package vm
+
+import "fmt"
+
+// PageWords is the page size in 32-bit words (4 KB pages).
+const PageWords = 1024
+
+// PageOf returns the virtual page number containing a word address.
+func PageOf(addr uint64) uint64 { return addr / PageWords }
+
+// Frames is one node's physical page-frame pool.
+type Frames struct {
+	total     int
+	inUse     int
+	highWater int
+}
+
+// NewFrames returns a pool of n physical frames.
+func NewFrames(n int) *Frames {
+	return &Frames{total: n}
+}
+
+// Total returns the pool size.
+func (f *Frames) Total() int { return f.total }
+
+// InUse returns currently allocated frames.
+func (f *Frames) InUse() int { return f.inUse }
+
+// Free returns currently available frames.
+func (f *Frames) Free() int { return f.total - f.inUse }
+
+// HighWater returns the lifetime maximum of InUse.
+func (f *Frames) HighWater() int { return f.highWater }
+
+// alloc takes one frame, reporting false when the pool is exhausted.
+func (f *Frames) alloc() bool {
+	if f.inUse >= f.total {
+		return false
+	}
+	f.inUse++
+	if f.inUse > f.highWater {
+		f.highWater = f.inUse
+	}
+	return true
+}
+
+// release returns one frame to the pool.
+func (f *Frames) release() {
+	if f.inUse == 0 {
+		panic("vm: releasing frame from empty pool")
+	}
+	f.inUse--
+}
+
+// page is one mapped virtual page with its backing storage.
+type page struct {
+	words []uint64
+}
+
+// Space is a process address space: a page table over the node's frame pool
+// with zero-fill-on-demand semantics.
+type Space struct {
+	frames *Frames
+	pages  map[uint64]*page
+
+	faults    uint64 // demand allocations served
+	denied    uint64 // allocations refused for lack of frames
+	highWater int    // max pages simultaneously mapped in this space
+}
+
+// NewSpace returns an empty address space over the node's frame pool.
+func NewSpace(frames *Frames) *Space {
+	return &Space{frames: frames, pages: make(map[uint64]*page)}
+}
+
+// Mapped reports whether the page containing addr is resident.
+func (s *Space) Mapped(addr uint64) bool {
+	_, ok := s.pages[PageOf(addr)]
+	return ok
+}
+
+// PagesMapped returns the number of resident pages.
+func (s *Space) PagesMapped() int { return len(s.pages) }
+
+// HighWater returns the lifetime maximum of PagesMapped.
+func (s *Space) HighWater() int { return s.highWater }
+
+// Faults returns how many demand allocations this space has taken.
+func (s *Space) Faults() uint64 { return s.faults }
+
+// Denied returns how many allocations failed for lack of physical frames.
+func (s *Space) Denied() uint64 { return s.denied }
+
+// Ensure makes the page containing addr resident. It returns faulted=true
+// when a fresh zero-filled page was allocated (the caller charges fault
+// service cycles) and ok=false when the node is out of physical frames (the
+// caller invokes overflow control; the page is not mapped).
+func (s *Space) Ensure(addr uint64) (faulted, ok bool) {
+	vp := PageOf(addr)
+	if _, resident := s.pages[vp]; resident {
+		return false, true
+	}
+	if !s.frames.alloc() {
+		s.denied++
+		return true, false
+	}
+	s.pages[vp] = &page{words: make([]uint64, PageWords)}
+	s.faults++
+	if len(s.pages) > s.highWater {
+		s.highWater = len(s.pages)
+	}
+	return true, true
+}
+
+// Read returns the word at addr. Reading an unmapped page is a protocol
+// error in this simulator (software always Ensures first) and panics.
+func (s *Space) Read(addr uint64) uint64 {
+	p, ok := s.pages[PageOf(addr)]
+	if !ok {
+		panic(fmt.Sprintf("vm: read of unmapped address %#x", addr))
+	}
+	return p.words[addr%PageWords]
+}
+
+// Write stores a word at addr; the page must be resident.
+func (s *Space) Write(addr uint64, v uint64) {
+	p, ok := s.pages[PageOf(addr)]
+	if !ok {
+		panic(fmt.Sprintf("vm: write to unmapped address %#x", addr))
+	}
+	p.words[addr%PageWords] = v
+}
+
+// Unmap releases the page containing addr back to the frame pool. Unmapping
+// a non-resident page is a no-op.
+func (s *Space) Unmap(addr uint64) {
+	vp := PageOf(addr)
+	if _, ok := s.pages[vp]; !ok {
+		return
+	}
+	delete(s.pages, vp)
+	s.frames.release()
+}
+
+// Evict unmaps the page containing addr and returns its contents, for
+// paging the frame out to backing store. Evicting a non-resident page
+// returns nil.
+func (s *Space) Evict(addr uint64) []uint64 {
+	vp := PageOf(addr)
+	p, ok := s.pages[vp]
+	if !ok {
+		return nil
+	}
+	delete(s.pages, vp)
+	s.frames.release()
+	return p.words
+}
+
+// Install maps the page containing addr with the given contents, for paging
+// back in from backing store. It reports false when no frame is available.
+// Installing over a resident page panics: the pager lost track.
+func (s *Space) Install(addr uint64, words []uint64) bool {
+	vp := PageOf(addr)
+	if _, ok := s.pages[vp]; ok {
+		panic(fmt.Sprintf("vm: install over resident page %#x", vp))
+	}
+	if len(words) != PageWords {
+		panic("vm: install with wrong page size")
+	}
+	if !s.frames.alloc() {
+		s.denied++
+		return false
+	}
+	s.pages[vp] = &page{words: words}
+	if len(s.pages) > s.highWater {
+		s.highWater = len(s.pages)
+	}
+	return true
+}
+
+// Release unmaps every page (process teardown).
+func (s *Space) Release() {
+	n := len(s.pages)
+	s.pages = make(map[uint64]*page)
+	for i := 0; i < n; i++ {
+		s.frames.release()
+	}
+}
