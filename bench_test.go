@@ -20,7 +20,10 @@ import (
 func BenchmarkTable4FastPath(b *testing.B) {
 	var r harness.Table4Result
 	for i := 0; i < b.N; i++ {
-		r = harness.Table4()
+		var err error
+		if r, err = harness.Table4(); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(r.MeasuredIntr[0]), "kernel-intr-cycles")
 	b.ReportMetric(float64(r.MeasuredIntr[1]), "hard-intr-cycles")
@@ -35,7 +38,10 @@ func BenchmarkTable4FastPath(b *testing.B) {
 func BenchmarkTable5BufferedPath(b *testing.B) {
 	var r harness.Table5Result
 	for i := 0; i < b.N; i++ {
-		r = harness.Table5()
+		var err error
+		if r, err = harness.Table5(); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(r.MeasuredInsertMean, "insert-cycles")
 	b.ReportMetric(r.MeasuredExtractMean, "extract-cycles")
@@ -49,7 +55,10 @@ func BenchmarkTable5BufferedPath(b *testing.B) {
 func BenchmarkTable6Apps(b *testing.B) {
 	var r harness.Table6Result
 	for i := 0; i < b.N; i++ {
-		r = harness.Table6(harness.QuickOptions())
+		var err error
+		if r, err = harness.Table6(harness.WithQuick(), harness.WithTrials(1)); err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, row := range r.Rows {
 		if row.Err != nil {
@@ -63,7 +72,10 @@ func BenchmarkTable6Apps(b *testing.B) {
 func BenchmarkFig7BufferedFraction(b *testing.B) {
 	var r harness.Fig78Result
 	for i := 0; i < b.N; i++ {
-		r = harness.Fig7and8(harness.QuickOptions())
+		var err error
+		if r, err = harness.Fig7and8(harness.WithQuick(), harness.WithTrials(1)); err != nil {
+			b.Fatal(err)
+		}
 	}
 	last := len(r.Skews) - 1
 	for _, app := range r.Apps {
@@ -82,7 +94,10 @@ func BenchmarkFig7BufferedFraction(b *testing.B) {
 func BenchmarkFig8Slowdown(b *testing.B) {
 	var r harness.Fig78Result
 	for i := 0; i < b.N; i++ {
-		r = harness.Fig7and8(harness.QuickOptions())
+		var err error
+		if r, err = harness.Fig7and8(harness.WithQuick(), harness.WithTrials(1)); err != nil {
+			b.Fatal(err)
+		}
 	}
 	last := len(r.Skews) - 1
 	for _, app := range r.Apps {
@@ -104,7 +119,10 @@ func BenchmarkFig8Slowdown(b *testing.B) {
 func BenchmarkFig9SynthInterval(b *testing.B) {
 	var r harness.Fig9Result
 	for i := 0; i < b.N; i++ {
-		r = harness.Fig9(harness.QuickOptions())
+		var err error
+		if r, err = harness.Fig9(harness.WithQuick(), harness.WithTrials(1)); err != nil {
+			b.Fatal(err)
+		}
 	}
 	for i, n := range r.Ns {
 		b.ReportMetric(r.Pct[i][0], benchName("synth", n)+"-min-tbetw-bufpct")
@@ -124,7 +142,10 @@ func BenchmarkFig9SynthInterval(b *testing.B) {
 func BenchmarkFig10BufferCost(b *testing.B) {
 	var r harness.Fig10Result
 	for i := 0; i < b.N; i++ {
-		r = harness.Fig10(harness.QuickOptions())
+		var err error
+		if r, err = harness.Fig10(harness.WithQuick(), harness.WithTrials(1)); err != nil {
+			b.Fatal(err)
+		}
 	}
 	last := len(r.Extra) - 1
 	for i, n := range r.Ns {

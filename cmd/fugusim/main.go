@@ -4,16 +4,26 @@
 //
 // Usage:
 //
-//	fugusim [-full] [-trials N] [-seed S] table4|table5|table6|fig7|fig8|fig9|fig10|all
+//	fugusim list
+//	fugusim run [flags] <experiment>... | all
+//
+// Experiments are discovered from the harness registry (`fugusim list`
+// prints them). Sweep points and trials fan out across -j workers; results
+// are deterministic regardless of the worker count, because every point is
+// an independent simulated machine and results are assembled by point
+// index, not completion order.
 //
 // Quick mode (default) scales workloads down so the whole suite runs in
-// minutes; -full uses the paper's sizes.
+// minutes; -full uses the paper's sizes. This command is the only place
+// that prints tables — the harness itself just returns structured results.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"fugu/internal/harness"
@@ -22,94 +32,123 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run the paper-scale workloads (slow)")
 	trials := flag.Int("trials", 0, "trials per data point (default: 1 quick, 3 full)")
-	seed := flag.Uint64("seed", 1, "base random seed")
+	seed := flag.Uint64("seed", 1, "base random seed (trial t runs at seed+t)")
 	csvDir := flag.String("csv", "", "also write experiment data as CSV files into this directory")
+	jobs := flag.Int("j", 0, "worker-pool size for sweep points (default: GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "report each completed sweep point on stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fugusim [flags] table4|table5|table6|fig7|fig8|fig9|fig10|all\n")
+		fmt.Fprintf(os.Stderr, "usage:\n")
+		fmt.Fprintf(os.Stderr, "  fugusim list\n")
+		fmt.Fprintf(os.Stderr, "  fugusim run [flags] <experiment>... | all\n")
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", harness.Names())
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	opt := harness.QuickOptions()
+	var names []string
+	switch flag.Arg(0) {
+	case "list":
+		list(os.Stdout)
+		return
+	case "run":
+		// Flags may also follow the subcommand: `fugusim run -j 4 fig9`.
+		flag.CommandLine.Parse(flag.Args()[1:])
+		names = flag.Args()
+	default:
+		// Legacy spelling: `fugusim table4`, `fugusim all`.
+		names = flag.Args()
+	}
+	if len(names) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	names = expandNames(names)
+
+	opts := []harness.Option{harness.WithSeed(*seed), harness.WithParallelism(*jobs)}
 	if *full {
-		opt = harness.DefaultOptions()
+		opts = append(opts, harness.WithFull(), harness.WithTrials(3))
+	} else {
+		opts = append(opts, harness.WithQuick(), harness.WithTrials(1))
 	}
 	if *trials > 0 {
-		opt.Trials = *trials
-	}
-	opt.Seed = *seed
-
-	run := func(name string, fn func()) {
-		start := time.Now()
-		fmt.Printf("== %s ==\n", name)
-		fn()
-		fmt.Printf("(%s took %.1fs)\n\n", name, time.Since(start).Seconds())
+		opts = append(opts, harness.WithTrials(*trials))
 	}
 
-	saveCSV := func(name, content string) {
-		if *csvDir == "" {
-			return
-		}
-		if err := harness.WriteCSV(*csvDir, name, content); err != nil {
-			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
-			os.Exit(1)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	runner := &harness.Runner{}
+	if *progress {
+		runner.Progress = func(p harness.Progress) {
+			status := "ok"
+			if p.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "%s: %d/%d %s %s\n", p.Experiment, p.Done, p.Total, p.Label, status)
 		}
 	}
-	experiments := map[string]func(){
-		"table4": func() { harness.Table4().Print(os.Stdout) },
-		"table5": func() { harness.Table5().Print(os.Stdout) },
-		"table6": func() {
-			r := harness.Table6(opt)
-			r.Print(os.Stdout)
-			saveCSV("table6.csv", r.CSV())
-		},
-		"fig7": func() {
-			r := harness.Fig7and8(opt)
-			r.Print7(os.Stdout)
-			saveCSV("fig7.csv", r.CSV7())
-		},
-		"fig8": func() {
-			r := harness.Fig7and8(opt)
-			r.Print8(os.Stdout)
-			saveCSV("fig8.csv", r.CSV8())
-		},
-		"fig9": func() {
-			r := harness.Fig9(opt)
-			r.Print(os.Stdout)
-			saveCSV("fig9.csv", r.CSV())
-		},
-		"fig10": func() {
-			r := harness.Fig10(opt)
-			r.Print(os.Stdout)
-			saveCSV("fig10.csv", r.CSV())
-		},
-	}
 
-	switch what := flag.Arg(0); what {
-	case "all":
-		run("table4", experiments["table4"])
-		run("table5", experiments["table5"])
-		run("table6", experiments["table6"])
-		// Figures 7 and 8 share their sweep; run it once.
-		run("fig7+fig8", func() {
-			r := harness.Fig7and8(opt)
-			r.Print7(os.Stdout)
-			r.Print8(os.Stdout)
-			saveCSV("fig7.csv", r.CSV7())
-			saveCSV("fig8.csv", r.CSV8())
-		})
-		run("fig9", experiments["fig9"])
-		run("fig10", experiments["fig10"])
-	default:
-		fn, ok := experiments[what]
+	for _, name := range names {
+		exp, ok := harness.Lookup(name)
 		if !ok {
-			flag.Usage()
+			fmt.Fprintf(os.Stderr, "fugusim: unknown experiment %q (try `fugusim list`)\n", name)
 			os.Exit(2)
 		}
-		run(what, fn)
+		start := time.Now()
+		fmt.Printf("== %s ==\n", exp.Name)
+		res, err := runner.Run(ctx, exp, opts...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fugusim: %s: %v\n", exp.Name, err)
+			os.Exit(1)
+		}
+		res.Print(os.Stdout)
+		fmt.Printf("(%s took %.1fs)\n\n", exp.Name, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if csv, ok := res.(harness.CSVer); ok {
+				for file, content := range csv.CSVFiles() {
+					if err := harness.WriteCSV(*csvDir, file, content); err != nil {
+						fmt.Fprintf(os.Stderr, "fugusim: csv: %v\n", err)
+						os.Exit(1)
+					}
+				}
+			}
+		}
 	}
+}
+
+// list prints the registry.
+func list(w *os.File) {
+	for _, e := range harness.Experiments() {
+		fmt.Fprintf(w, "%-10s %s\n", e.Name, e.Description)
+	}
+}
+
+// expandNames resolves "all" and the legacy fig7/fig8 aliases (both are
+// backed by the shared fig7and8 sweep), dropping duplicates.
+func expandNames(names []string) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, n := range names {
+		switch n {
+		case "all":
+			for _, reg := range harness.Names() {
+				add(reg)
+			}
+		case "fig7", "fig8":
+			add("fig7and8")
+		default:
+			add(n)
+		}
+	}
+	return out
 }

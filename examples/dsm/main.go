@@ -20,9 +20,8 @@ const (
 )
 
 func main() {
-	cfg := fugu.DefaultConfig()
-	cfg.NIConfig.OutputWords = 64
-	m := fugu.NewMachine(cfg)
+	// Bulk coherence messages ride the modelled DMA descriptor.
+	m := fugu.NewMachine(fugu.DefaultConfig(), fugu.WithOutputWords(64))
 	job := m.NewJob("heat")
 	nodes := len(m.Nodes)
 	per := cells / nodes

@@ -13,8 +13,7 @@ import (
 
 func main() {
 	for _, skew := range []float64{0, 0.02, 0.08} {
-		cfg := fugu.DefaultConfig()
-		m := fugu.NewMachine(cfg)
+		m := fugu.NewMachine(fugu.DefaultConfig())
 		app := m.NewJob("barrier")
 		null := m.NewJob("null")
 

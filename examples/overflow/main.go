@@ -15,13 +15,11 @@ import (
 const (
 	hFlood = 1
 	n      = 1200
+	frames = 8 // a 32 KB node: pressure arrives quickly
 )
 
 func main() {
-	cfg := fugu.DefaultConfig()
-	cfg.W, cfg.H = 2, 1
-	cfg.FramesPerNode = 8 // a 32 KB node: pressure arrives quickly
-	m := fugu.NewMachine(cfg)
+	m := fugu.NewMachine(fugu.DefaultConfig(), fugu.WithMesh(2, 1), fugu.WithFrames(frames))
 	job := m.NewJob("flood")
 	null := m.NewJob("null")
 	fugu.Attach(null.Process(0))
@@ -64,6 +62,6 @@ func main() {
 	fmt.Printf("sender observed overflow throttling: %v\n", throttleSeen)
 	fmt.Printf("overflow-control trips at consumer: %d\n", m.Nodes[1].Kernel.OverflowTrips)
 	fmt.Printf("frame pool high water: %d of %d frames (bounded by virtual buffering)\n",
-		m.Nodes[1].Frames.HighWater(), cfg.FramesPerNode)
+		m.Nodes[1].Frames.HighWater(), frames)
 	fmt.Printf("max buffer pages at consumer: %d\n", job.Process(1).BufferPagesHighWater())
 }

@@ -15,9 +15,7 @@ const (
 )
 
 func main() {
-	cfg := fugu.DefaultConfig()
-	cfg.W, cfg.H = 2, 1
-	m := fugu.NewMachine(cfg)
+	m := fugu.NewMachine(fugu.DefaultConfig(), fugu.WithMesh(2, 1))
 	job := m.NewJob("pingpong")
 
 	ep0 := fugu.Attach(job.Process(0))

@@ -82,12 +82,32 @@ const (
 )
 
 // NewMachine builds a machine: engine, mesh, per-node CPU, NI, frame pool
-// and kernel.
-func NewMachine(cfg Config) *Machine { return glaze.NewMachine(cfg) }
+// and kernel. Optional ConfigOptions are applied over cfg, e.g.
+// fugu.NewMachine(fugu.DefaultConfig(), fugu.WithMesh(2, 1)).
+func NewMachine(cfg Config, opts ...ConfigOption) *Machine { return glaze.NewMachine(cfg, opts...) }
 
 // DefaultConfig returns the 8-node, soft-atomicity configuration the
 // paper's experiments use.
 func DefaultConfig() Config { return glaze.DefaultConfig() }
+
+// ConfigOption adjusts a Config without reaching into struct fields.
+type ConfigOption = glaze.ConfigOption
+
+// Machine configuration options.
+var (
+	// NewConfig returns DefaultConfig with options applied.
+	NewConfig = glaze.NewConfig
+	// WithMesh sets the mesh dimensions (w*h nodes).
+	WithMesh = glaze.WithMesh
+	// WithAtomicity selects one of Table 4's atomicity implementations.
+	WithAtomicity = glaze.WithAtomicity
+	// WithFrames sets the per-node physical frame pool size.
+	WithFrames = glaze.WithFrames
+	// WithMachineSeed sets the simulation seed.
+	WithMachineSeed = glaze.WithMachineSeed
+	// WithOutputWords sets the NI output-descriptor length in words.
+	WithOutputWords = glaze.WithOutputWords
+)
 
 // Costs returns the cost model for one of Table 4's columns.
 func Costs(impl glaze.AtomicityImpl) CostModel { return glaze.Costs(impl) }
@@ -114,7 +134,51 @@ var (
 	NewBarnes = apps.NewBarnes
 )
 
-// Experiment entry points (see cmd/fugusim for the CLI).
+// Experiment API: named, discoverable experiments run on a parallel worker
+// pool (see cmd/fugusim for the CLI).
+type (
+	// Experiment is one registered reproduction of a table or figure.
+	Experiment = harness.Experiment
+	// ExperimentResult is a structured experiment outcome.
+	ExperimentResult = harness.Result
+	// Runner fans an experiment's sweep points out across workers.
+	Runner = harness.Runner
+	// ExperimentOption configures an experiment run (WithTrials, ...).
+	ExperimentOption = harness.Option
+	// ExperimentOptions is the resolved option set.
+	ExperimentOptions = harness.Options
+)
+
+// Experiment discovery and execution.
+var (
+	// RunExperiment runs a registered experiment by name.
+	RunExperiment = harness.Run
+	// LookupExperiment finds a registered experiment by name.
+	LookupExperiment = harness.Lookup
+	// Experiments lists every registered experiment.
+	Experiments = harness.Experiments
+	// ExperimentNames lists the registered experiment names.
+	ExperimentNames = harness.Names
+)
+
+// Experiment options.
+var (
+	// WithTrials sets the trials averaged per sweep point.
+	WithTrials = harness.WithTrials
+	// WithQuick selects the scaled-down workloads.
+	WithQuick = harness.WithQuick
+	// WithFull selects the paper-scale workloads.
+	WithFull = harness.WithFull
+	// WithSeed sets the base seed (trial t runs at seed+t).
+	WithSeed = harness.WithSeed
+	// WithParallelism sets the Runner's worker count.
+	WithParallelism = harness.WithParallelism
+	// NewExperimentOptions resolves a full option set.
+	NewExperimentOptions = harness.NewOptions
+)
+
+// Typed experiment entry points (each returns its structured result and an
+// error; rendering is the caller's job).
 var (
 	// Table4 reproduces the fast-path cycle counts.
 	Table4 = harness.Table4
@@ -131,6 +195,9 @@ var (
 )
 
 // QuickOptions and DefaultOptions scale the experiments.
+//
+// Deprecated: compose functional options (WithQuick, WithTrials, ...)
+// instead.
 var (
 	QuickOptions   = harness.QuickOptions
 	DefaultOptions = harness.DefaultOptions

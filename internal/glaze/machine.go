@@ -74,8 +74,11 @@ type Machine struct {
 }
 
 // NewMachine builds the machine: engine, mesh, per-node CPU, NI, frame pool
-// and kernel, all wired together.
-func NewMachine(cfg Config) *Machine {
+// and kernel, all wired together. Any options are applied over cfg first.
+func NewMachine(cfg Config, opts ...ConfigOption) *Machine {
+	for _, o := range opts {
+		o(&cfg)
+	}
 	eng := sim.NewEngine(cfg.Seed)
 	m := &Machine{
 		Eng:            eng,

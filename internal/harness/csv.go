@@ -8,6 +8,37 @@ import (
 	"fugu/internal/plot"
 )
 
+// CSV renders the Table 4 cost-model rows and measurements.
+func (r Table4Result) CSV() string {
+	rows := make([][]string, 0, len(r.Rows)+2)
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Item, u(row.Kernel), u(row.Hard), u(row.Soft)})
+	}
+	rows = append(rows,
+		[]string{"measured interrupt total", u(r.MeasuredIntr[0]), u(r.MeasuredIntr[1]), u(r.MeasuredIntr[2])},
+		[]string{"measured polling total", u(r.MeasuredPoll[0]), u(r.MeasuredPoll[1]), u(r.MeasuredPoll[2])})
+	return plot.CSV([]string{"item", "kernel", "hard_atomicity", "soft_atomicity"}, rows)
+}
+
+// CSVFiles implements CSVer.
+func (r Table4Result) CSVFiles() map[string]string {
+	return map[string]string{"table4.csv": r.CSV()}
+}
+
+// CSV renders the Table 5 buffered-path measurements.
+func (r Table5Result) CSV() string {
+	return plot.CSV([]string{"item", "configured", "measured"}, [][]string{
+		{"buffer_insert_min", u(r.InsertMin), f1(r.MeasuredInsertMean)},
+		{"buffer_insert_vmalloc", u(r.InsertVMAlloc), fmt.Sprintf("%d/%d", r.VMAllocs, r.Inserts)},
+		{"buffered_null_handler", u(r.Extract), f1(r.MeasuredExtractMean)},
+	})
+}
+
+// CSVFiles implements CSVer.
+func (r Table5Result) CSVFiles() map[string]string {
+	return map[string]string{"table5.csv": r.CSV()}
+}
+
 // CSV renders the Table 6 characterization as comma-separated values.
 func (r Table6Result) CSV() string {
 	rows := make([][]string, 0, len(r.Rows))
@@ -19,6 +50,11 @@ func (r Table6Result) CSV() string {
 		})
 	}
 	return plot.CSV([]string{"app", "model", "cycles", "msgs", "t_betw", "t_hand", "check"}, rows)
+}
+
+// CSVFiles implements CSVer.
+func (r Table6Result) CSVFiles() map[string]string {
+	return map[string]string{"table6.csv": r.CSV()}
 }
 
 // CSV7 renders the Figure 7 sweep (buffered fraction and buffer pages).
@@ -54,6 +90,11 @@ func (r Fig78Result) CSV8() string {
 	return plot.CSV([]string{"app", "skew", "relative_runtime", "runtime_cycles"}, rows)
 }
 
+// CSVFiles implements CSVer: the shared sweep backs both figures' files.
+func (r Fig78Result) CSVFiles() map[string]string {
+	return map[string]string{"fig7.csv": r.CSV7(), "fig8.csv": r.CSV8()}
+}
+
 // CSV renders the Figure 9 sweep.
 func (r Fig9Result) CSV() string {
 	var rows [][]string
@@ -68,6 +109,11 @@ func (r Fig9Result) CSV() string {
 	return plot.CSV([]string{"app", "t_betw", "buffered_pct"}, rows)
 }
 
+// CSVFiles implements CSVer.
+func (r Fig9Result) CSVFiles() map[string]string {
+	return map[string]string{"fig9.csv": r.CSV()}
+}
+
 // CSV renders the Figure 10 sweep.
 func (r Fig10Result) CSV() string {
 	var rows [][]string
@@ -80,6 +126,11 @@ func (r Fig10Result) CSV() string {
 		}
 	}
 	return plot.CSV([]string{"app", "extra_insert_cost", "buffered_pct"}, rows)
+}
+
+// CSVFiles implements CSVer.
+func (r Fig10Result) CSVFiles() map[string]string {
+	return map[string]string{"fig10.csv": r.CSV()}
 }
 
 // WriteCSV saves content under dir/name, creating dir as needed.

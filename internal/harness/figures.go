@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -30,20 +31,57 @@ func Fig7Skews(quick bool) []float64 {
 // Fig7and8 runs the sweep. Figure 7 reads the buffered fraction, Figure 8
 // the runtime relative to zero skew; both also expose the max physical
 // buffer pages per node (the paper's "less than seven pages" observation).
-func Fig7and8(opt Options) Fig78Result {
-	res := Fig78Result{Skews: Fig7Skews(opt.Quick), Runs: map[string][]RunStats{}}
-	for _, mk := range AppMakers(opt.Quick) {
-		name := mk().Name()
-		res.Apps = append(res.Apps, name)
-		for _, skew := range res.Skews {
-			runs := make([]RunStats, 0, opt.Trials)
-			for trial := 0; trial < max(1, opt.Trials); trial++ {
-				runs = append(runs, RunMultiprogrammedQ(mk, skew, opt.Seed+uint64(trial), opt.QuantumFor(), nil))
+func Fig7and8(opts ...Option) (Fig78Result, error) {
+	return runAs[Fig78Result]("fig7and8", opts...)
+}
+
+// fig7and8Experiment fans out one point per (application, skew, trial).
+func fig7and8Experiment() *Experiment {
+	return &Experiment{
+		Name:        "fig7and8",
+		Description: "buffered fraction and relative runtime vs scheduler skew",
+		Points: func(opt Options) []Point {
+			skews := Fig7Skews(opt.Quick)
+			var pts []Point
+			for _, mk := range AppMakers(opt.Quick) {
+				mk := mk
+				name := mk().Name()
+				for _, skew := range skews {
+					skew := skew
+					for trial := 0; trial < opt.trials(); trial++ {
+						trial := trial
+						pts = append(pts, Point{
+							Label: fmt.Sprintf("%s skew=%.1f%% trial=%d", name, skew*100, trial),
+							Run: func(_ context.Context, opt Options) (any, error) {
+								return RunMultiprogrammedQ(mk, skew, opt.TrialSeed(trial), opt.QuantumFor(), nil), nil
+							},
+						})
+					}
+				}
 			}
-			res.Runs[name] = append(res.Runs[name], averageStats(runs))
-		}
+			return pts
+		},
+		Assemble: func(opt Options, results []any) (Result, error) {
+			res := Fig78Result{Skews: Fig7Skews(opt.Quick), Runs: map[string][]RunStats{}}
+			groups := groupTrials(results, opt.trials())
+			g := 0
+			for _, mk := range AppMakers(opt.Quick) {
+				name := mk().Name()
+				res.Apps = append(res.Apps, name)
+				for range res.Skews {
+					res.Runs[name] = append(res.Runs[name], averageStats(groups[g]))
+					g++
+				}
+			}
+			return res, nil
+		},
 	}
-	return res
+}
+
+// Print renders both figures the shared sweep backs.
+func (r Fig78Result) Print(w io.Writer) {
+	r.Print7(w)
+	r.Print8(w)
 }
 
 // Print7 renders Figure 7: percentage of messages traversing the buffered
@@ -103,44 +141,76 @@ type Fig9Result struct {
 
 // Fig9 reproduces: % messages buffered vs send interval, synth-N at 1%
 // scheduler skew, T_hand fixed (~290 cycles with overheads).
-func Fig9(opt Options) Fig9Result {
-	res := Fig9Result{
-		TBetws: []uint64{100, 150, 200, 275, 400, 600, 900, 1300},
-		Ns:     []int{10, 100, 1000},
+func Fig9(opts ...Option) (Fig9Result, error) {
+	return runAs[Fig9Result]("fig9", opts...)
+}
+
+// fig9TBetws returns the send-interval sweep for the chosen scale.
+func fig9TBetws(quick bool) []uint64 {
+	if quick {
+		return []uint64{100, 150, 275, 600}
 	}
-	if opt.Quick {
-		res.TBetws = []uint64{100, 150, 275, 600}
+	return []uint64{100, 150, 200, 275, 400, 600, 900, 1300}
+}
+
+// synthNs are the synth-N sizes Figures 9 and 10 sweep.
+var synthNs = []int{10, 100, 1000}
+
+// synthGroups keeps the total requests per node constant across synth-N
+// sizes (12,000 full scale, 4,000 quick).
+func synthGroups(n int, quick bool) int {
+	total := 12000
+	if quick {
+		total = 4000
 	}
-	groupsFor := func(n int) int {
-		total := 12000 // requests per node across the run
-		if opt.Quick {
-			total = 4000
-		}
-		g := total / n
-		if g < 1 {
-			g = 1
-		}
-		return g
-	}
-	for _, n := range res.Ns {
-		var row []float64
-		for _, tb := range res.TBetws {
-			n, tb := n, tb
-			runs := make([]RunStats, 0, opt.Trials)
-			for trial := 0; trial < max(1, opt.Trials); trial++ {
-				runs = append(runs, RunMultiprogrammedQ(
-					func() apps.Instance { return apps.NewSynth(n, groupsFor(n), tb) },
-					0.01, opt.Seed+uint64(trial), Quantum, nil))
+	return max(1, total/n)
+}
+
+// fig9Experiment fans out one point per (synth-N, T_betw, trial).
+func fig9Experiment() *Experiment {
+	return &Experiment{
+		Name:        "fig9",
+		Description: "buffered fraction vs send interval for synth-N at 1% skew",
+		Points: func(opt Options) []Point {
+			var pts []Point
+			for _, n := range synthNs {
+				n := n
+				for _, tb := range fig9TBetws(opt.Quick) {
+					tb := tb
+					for trial := 0; trial < opt.trials(); trial++ {
+						trial := trial
+						pts = append(pts, Point{
+							Label: fmt.Sprintf("synth-%d tbetw=%d trial=%d", n, tb, trial),
+							Run: func(_ context.Context, opt Options) (any, error) {
+								return RunMultiprogrammedQ(
+									func() apps.Instance { return apps.NewSynth(n, synthGroups(n, opt.Quick), tb) },
+									0.01, opt.TrialSeed(trial), Quantum, nil), nil
+							},
+						})
+					}
+				}
 			}
-			avg := averageStats(runs)
-			if avg.Err != nil {
-				res.Errs = append(res.Errs, avg.Err)
+			return pts
+		},
+		Assemble: func(opt Options, results []any) (Result, error) {
+			res := Fig9Result{TBetws: fig9TBetws(opt.Quick), Ns: synthNs}
+			groups := groupTrials(results, opt.trials())
+			g := 0
+			for range res.Ns {
+				var row []float64
+				for range res.TBetws {
+					avg := averageStats(groups[g])
+					g++
+					if avg.Err != nil {
+						res.Errs = append(res.Errs, avg.Err)
+					}
+					row = append(row, avg.BufferedPct)
+				}
+				res.Pct = append(res.Pct, row)
 			}
-			row = append(row, avg.BufferedPct)
-		}
-		res.Pct = append(res.Pct, row)
+			return res, nil
+		},
 	}
-	return res
 }
 
 // Print renders Figure 9.
@@ -175,45 +245,64 @@ type Fig10Result struct {
 
 // Fig10 reproduces: % messages buffered vs artificial additions to the
 // buffer-insert handler cost, at T_betw = 275 cycles and 1% skew.
-func Fig10(opt Options) Fig10Result {
-	res := Fig10Result{
-		Extra: []uint64{0, 100, 200, 400, 800, 1600},
-		Ns:    []int{10, 100, 1000},
+func Fig10(opts ...Option) (Fig10Result, error) {
+	return runAs[Fig10Result]("fig10", opts...)
+}
+
+// fig10Extras returns the added-insert-cost sweep for the chosen scale.
+func fig10Extras(quick bool) []uint64 {
+	if quick {
+		return []uint64{0, 200, 800}
 	}
-	if opt.Quick {
-		res.Extra = []uint64{0, 200, 800}
-	}
-	groupsFor := func(n int) int {
-		total := 12000
-		if opt.Quick {
-			total = 4000
-		}
-		g := total / n
-		if g < 1 {
-			g = 1
-		}
-		return g
-	}
-	for _, n := range res.Ns {
-		var row []float64
-		for _, extra := range res.Extra {
-			n, extra := n, extra
-			runs := make([]RunStats, 0, opt.Trials)
-			for trial := 0; trial < max(1, opt.Trials); trial++ {
-				runs = append(runs, RunMultiprogrammed(
-					func() apps.Instance { return apps.NewSynth(n, groupsFor(n), 275) },
-					0.01, opt.Seed+uint64(trial),
-					func(cfg *glaze.Config) { cfg.Cost.ExtraBufferCost = extra }))
+	return []uint64{0, 100, 200, 400, 800, 1600}
+}
+
+// fig10Experiment fans out one point per (synth-N, extra cost, trial).
+func fig10Experiment() *Experiment {
+	return &Experiment{
+		Name:        "fig10",
+		Description: "buffered fraction vs added buffered-path cost for synth-N",
+		Points: func(opt Options) []Point {
+			var pts []Point
+			for _, n := range synthNs {
+				n := n
+				for _, extra := range fig10Extras(opt.Quick) {
+					extra := extra
+					for trial := 0; trial < opt.trials(); trial++ {
+						trial := trial
+						pts = append(pts, Point{
+							Label: fmt.Sprintf("synth-%d extra=%d trial=%d", n, extra, trial),
+							Run: func(_ context.Context, opt Options) (any, error) {
+								return RunMultiprogrammed(
+									func() apps.Instance { return apps.NewSynth(n, synthGroups(n, opt.Quick), 275) },
+									0.01, opt.TrialSeed(trial),
+									func(cfg *glaze.Config) { cfg.Cost.ExtraBufferCost = extra }), nil
+							},
+						})
+					}
+				}
 			}
-			avg := averageStats(runs)
-			if avg.Err != nil {
-				res.Errs = append(res.Errs, avg.Err)
+			return pts
+		},
+		Assemble: func(opt Options, results []any) (Result, error) {
+			res := Fig10Result{Extra: fig10Extras(opt.Quick), Ns: synthNs}
+			groups := groupTrials(results, opt.trials())
+			g := 0
+			for range res.Ns {
+				var row []float64
+				for range res.Extra {
+					avg := averageStats(groups[g])
+					g++
+					if avg.Err != nil {
+						res.Errs = append(res.Errs, avg.Err)
+					}
+					row = append(row, avg.BufferedPct)
+				}
+				res.Pct = append(res.Pct, row)
 			}
-			row = append(row, avg.BufferedPct)
-		}
-		res.Pct = append(res.Pct, row)
+			return res, nil
+		},
 	}
-	return res
 }
 
 // Print renders Figure 10.

@@ -5,9 +5,13 @@
 // quality), Figure 9 (buffered fraction vs send interval) and Figure 10
 // (buffered fraction vs buffered-path cost).
 //
-// Each experiment returns structured results and can print the paper-style
-// table or an ASCII rendition of the figure. EXPERIMENTS.md records the
-// paper-vs-measured comparison produced by `fugusim all`.
+// Experiments are registered by name (Lookup, Names, Experiments) and
+// enumerate their sweeps as independent Points; a Runner fans points and
+// trials out across a worker pool with deterministic, index-keyed result
+// assembly, so parallel runs are bit-identical to serial ones. Every
+// experiment returns a structured Result (and an error) — rendering the
+// paper-style tables and ASCII figures is cmd/fugusim's job. EXPERIMENTS.md
+// records the paper-vs-measured comparison produced by `fugusim run all`.
 package harness
 
 import (
@@ -17,43 +21,12 @@ import (
 	"fugu/internal/glaze"
 )
 
-// Options scales the experiments. Quick shrinks workloads so the whole
-// suite runs in tens of seconds (the relationships survive scaling; see
-// EXPERIMENTS.md); the full sizes are the paper's.
-type Options struct {
-	Quick  bool
-	Trials int // paper averages 3 trials
-	Seed   uint64
-}
-
-// DefaultOptions mirror the paper: full sizes, 3 trials.
-func DefaultOptions() Options { return Options{Trials: 3, Seed: 1} }
-
-// QuickOptions are the scaled-down configuration benches use.
-func QuickOptions() Options { return Options{Quick: true, Trials: 1, Seed: 1} }
-
-// Quantum is the scheduler timeslice, 500,000 cycles as in Section 5.
-const Quantum = 500_000
-
-// QuantumFor returns the timeslice for the chosen scale: quick mode shrinks
-// the quantum along with the workloads so runs still span many timeslices
-// (the schedule-quality experiments are meaningless inside one quantum).
-func (o Options) QuantumFor() uint64 {
-	if o.Quick {
-		return 50_000
-	}
-	return Quantum
-}
-
 // machineConfig builds the standard 8-node experiment machine.
+// Applications ship bulk data; FUGU used a DMA engine for messages longer
+// than the 16-word descriptor, which we model with a larger descriptor
+// (see DESIGN.md).
 func machineConfig(seed uint64) glaze.Config {
-	cfg := glaze.DefaultConfig()
-	cfg.Seed = seed
-	// Applications ship bulk data; FUGU used a DMA engine for messages
-	// longer than the 16-word descriptor, which we model with a larger
-	// descriptor (see DESIGN.md).
-	cfg.NIConfig.OutputWords = 64
-	return cfg
+	return glaze.NewConfig(glaze.WithMachineSeed(seed), glaze.WithOutputWords(64))
 }
 
 // AppMakers returns constructors for the five Table 6 applications at the

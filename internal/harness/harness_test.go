@@ -9,7 +9,10 @@ import (
 )
 
 func TestTable4ExactTotals(t *testing.T) {
-	r := Table4()
+	r, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := [3]uint64{54, 87, 115}
 	if r.MeasuredIntr != want {
 		t.Errorf("measured interrupt totals = %v, want %v", r.MeasuredIntr, want)
@@ -22,7 +25,10 @@ func TestTable4ExactTotals(t *testing.T) {
 }
 
 func TestTable5Measurements(t *testing.T) {
-	r := Table5()
+	r, err := Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Inserts < 1000 {
 		t.Errorf("only %d inserts: microbenchmark did not engage buffering", r.Inserts)
 	}
@@ -115,7 +121,10 @@ func TestFig9ShapeQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	r := Fig9(Options{Quick: true, Trials: 1, Seed: 1})
+	r, err := Fig9(WithQuick(), WithTrials(1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Errs) > 0 {
 		t.Fatalf("checks failed: %v", r.Errs)
 	}
@@ -136,7 +145,10 @@ func TestFig10ShapeQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	r := Fig10(Options{Quick: true, Trials: 1, Seed: 1})
+	r, err := Fig10(Options{Quick: true, Trials: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Errs) > 0 {
 		t.Fatalf("checks failed: %v", r.Errs)
 	}

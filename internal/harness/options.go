@@ -1,0 +1,98 @@
+package harness
+
+import "runtime"
+
+// Options is the resolved experiment configuration. Construct it with
+// NewOptions and functional Option values; the struct itself is kept
+// exported (and implements Option) so legacy callers that built it
+// positionally keep compiling.
+type Options struct {
+	Quick  bool
+	Trials int // paper averages 3 trials
+	Seed   uint64
+	// Parallelism is the worker count the Runner fans sweep points out
+	// across; zero or negative means runtime.GOMAXPROCS(0). Parallelism
+	// never changes results: points are keyed by enumeration index, and
+	// every point simulates its own deterministic machine.
+	Parallelism int
+}
+
+// Option configures an experiment run.
+type Option interface{ applyOption(*Options) }
+
+type optionFunc func(*Options)
+
+func (f optionFunc) applyOption(o *Options) { f(o) }
+
+// applyOption lets a whole Options struct be passed where an Option is
+// expected, replacing the option set wholesale.
+//
+// Deprecated: pass individual Option values (WithTrials, WithQuick,
+// WithSeed, WithParallelism) instead of a positional struct.
+func (o Options) applyOption(dst *Options) { *dst = o }
+
+// WithTrials sets the number of trials averaged per sweep point.
+func WithTrials(n int) Option { return optionFunc(func(o *Options) { o.Trials = n }) }
+
+// WithQuick selects the scaled-down workloads benches and CI use; the
+// relationships survive scaling (see EXPERIMENTS.md).
+func WithQuick() Option { return optionFunc(func(o *Options) { o.Quick = true }) }
+
+// WithFull selects the paper-scale workloads (slow).
+func WithFull() Option { return optionFunc(func(o *Options) { o.Quick = false }) }
+
+// WithSeed sets the base random seed; trial t of any experiment runs at
+// seed Seed+t (see Options.TrialSeed).
+func WithSeed(s uint64) Option { return optionFunc(func(o *Options) { o.Seed = s }) }
+
+// WithParallelism sets the Runner's worker count.
+func WithParallelism(n int) Option { return optionFunc(func(o *Options) { o.Parallelism = n }) }
+
+// NewOptions resolves a full option set: the paper's defaults (full sizes,
+// 3 trials, seed 1) overlaid with the given options.
+func NewOptions(opts ...Option) Options {
+	o := Options{Trials: 3, Seed: 1}
+	for _, op := range opts {
+		op.applyOption(&o)
+	}
+	return o
+}
+
+// DefaultOptions mirror the paper: full sizes, 3 trials.
+//
+// Deprecated: use NewOptions().
+func DefaultOptions() Options { return NewOptions() }
+
+// QuickOptions are the scaled-down configuration benches use.
+//
+// Deprecated: use NewOptions(WithQuick(), WithTrials(1)).
+func QuickOptions() Options { return NewOptions(WithQuick(), WithTrials(1)) }
+
+// Quantum is the scheduler timeslice, 500,000 cycles as in Section 5.
+const Quantum = 500_000
+
+// QuantumFor returns the timeslice for the chosen scale: quick mode shrinks
+// the quantum along with the workloads so runs still span many timeslices
+// (the schedule-quality experiments are meaningless inside one quantum).
+func (o Options) QuantumFor() uint64 {
+	if o.Quick {
+		return 50_000
+	}
+	return Quantum
+}
+
+// TrialSeed derives the seed for one trial. Every experiment must use this
+// helper so trial seeding stays consistent across tables and figures (and
+// so serial and parallel runs agree bit for bit).
+func (o Options) TrialSeed(trial int) uint64 { return o.Seed + uint64(trial) }
+
+// trials returns the effective trial count, at least one.
+func (o Options) trials() int { return max(1, o.Trials) }
+
+// workers returns the effective worker-pool size.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -27,17 +28,54 @@ type Table4Result struct {
 	MeasuredPoll [3]uint64
 }
 
+// table4Impls are the three columns of Table 4.
+var table4Impls = []glaze.AtomicityImpl{glaze.KernelMode, glaze.HardAtomicity, glaze.SoftAtomicity}
+
 // Table4 reproduces the cycle counts to send and receive a null message.
-func Table4() Table4Result {
-	impls := []glaze.AtomicityImpl{glaze.KernelMode, glaze.HardAtomicity, glaze.SoftAtomicity}
+func Table4(opts ...Option) (Table4Result, error) {
+	return runAs[Table4Result]("table4", opts...)
+}
+
+// table4Experiment measures each atomicity implementation as one point.
+func table4Experiment() *Experiment {
+	return &Experiment{
+		Name:        "table4",
+		Description: "fast-path cycle counts to send and receive a null message",
+		Points: func(Options) []Point {
+			pts := make([]Point, len(table4Impls))
+			for i, im := range table4Impls {
+				im := im
+				pts[i] = Point{
+					Label: "impl=" + im.String(),
+					Run: func(context.Context, Options) (any, error) {
+						intr, poll := measureNullMessage(im)
+						return [2]uint64{intr, poll}, nil
+					},
+				}
+			}
+			return pts
+		},
+		Assemble: func(_ Options, results []any) (Result, error) {
+			res := table4Rows()
+			for i, r := range results {
+				v := r.([2]uint64)
+				res.MeasuredIntr[i], res.MeasuredPoll[i] = v[0], v[1]
+			}
+			return res, nil
+		},
+	}
+}
+
+// table4Rows builds the cost-model rows (no simulation required).
+func table4Rows() Table4Result {
 	cms := make([]glaze.CostModel, 3)
-	for i, im := range impls {
+	for i, im := range table4Impls {
 		cms[i] = glaze.Costs(im)
 	}
 	row := func(item string, f func(glaze.CostModel) uint64) Table4Row {
 		return Table4Row{item, f(cms[0]), f(cms[1]), f(cms[2])}
 	}
-	res := Table4Result{Rows: []Table4Row{
+	return Table4Result{Rows: []Table4Row{
 		row("Descriptor construction", func(c glaze.CostModel) uint64 { return c.DescribeNull }),
 		row("launch", func(c glaze.CostModel) uint64 { return c.Launch }),
 		row("send total:", func(c glaze.CostModel) uint64 { return c.SendCost(0) }),
@@ -58,10 +96,6 @@ func Table4() Table4Result {
 		row("Null handler (w/dispose)", func(c glaze.CostModel) uint64 { return c.PollNullHandler }),
 		row("polling total:", func(c glaze.CostModel) uint64 { return c.RecvPollTotal() }),
 	}}
-	for i, im := range impls {
-		res.MeasuredIntr[i], res.MeasuredPoll[i] = measureNullMessage(im)
-	}
-	return res
 }
 
 // measureNullMessage times the receive path end to end on a two-node

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,10 +29,32 @@ type Table5Result struct {
 // is not yet scheduled, so every message is inserted into the virtual
 // buffer (some taking the vmalloc path); the receiver then drains from the
 // buffer with null handlers.
-func Table5() Table5Result {
-	cfg := glaze.DefaultConfig()
-	cfg.W, cfg.H = 2, 1
-	m := glaze.NewMachine(cfg)
+func Table5(opts ...Option) (Table5Result, error) {
+	return runAs[Table5Result]("table5", opts...)
+}
+
+// table5Experiment wraps the microbenchmark as a single-point experiment.
+func table5Experiment() *Experiment {
+	return &Experiment{
+		Name:        "table5",
+		Description: "software buffer insert/extract overheads (buffered path)",
+		Points: func(Options) []Point {
+			return []Point{{
+				Label: "bufbench",
+				Run: func(context.Context, Options) (any, error) {
+					return table5Measure(), nil
+				},
+			}}
+		},
+		Assemble: func(_ Options, results []any) (Result, error) {
+			return results[0].(Table5Result), nil
+		},
+	}
+}
+
+// table5Measure runs the flood microbenchmark on a fresh two-node machine.
+func table5Measure() Table5Result {
+	m := glaze.NewMachine(glaze.NewConfig(glaze.WithMesh(2, 1)))
 	job := m.NewJob("bufbench")
 	null := m.NewJob("null")
 	ep0 := udm.Attach(job.Process(0))

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,16 +29,54 @@ type Table6Result struct {
 
 // Table6 runs every application standalone on eight nodes and reports the
 // paper's characterization columns.
-func Table6(opt Options) Table6Result {
-	var res Table6Result
-	for _, mk := range AppMakers(opt.Quick) {
-		runs := make([]RunStats, 0, opt.Trials)
-		for trial := 0; trial < max(1, opt.Trials); trial++ {
-			runs = append(runs, RunStandalone(mk, opt.Seed+uint64(trial)))
-		}
-		res.Rows = append(res.Rows, averageStats(runs))
+func Table6(opts ...Option) (Table6Result, error) {
+	return runAs[Table6Result]("table6", opts...)
+}
+
+// table6Experiment fans out one point per (application, trial) pair.
+func table6Experiment() *Experiment {
+	return &Experiment{
+		Name:        "table6",
+		Description: "application characteristics, standalone on 8 nodes",
+		Points: func(opt Options) []Point {
+			var pts []Point
+			for _, mk := range AppMakers(opt.Quick) {
+				mk := mk
+				name := mk().Name()
+				for trial := 0; trial < opt.trials(); trial++ {
+					trial := trial
+					pts = append(pts, Point{
+						Label: fmt.Sprintf("%s trial=%d", name, trial),
+						Run: func(_ context.Context, opt Options) (any, error) {
+							return RunStandalone(mk, opt.TrialSeed(trial)), nil
+						},
+					})
+				}
+			}
+			return pts
+		},
+		Assemble: func(opt Options, results []any) (Result, error) {
+			var res Table6Result
+			for _, group := range groupTrials(results, opt.trials()) {
+				res.Rows = append(res.Rows, averageStats(group))
+			}
+			return res, nil
+		},
 	}
-	return res
+}
+
+// groupTrials slices a flat index-keyed result list into consecutive
+// trial groups of the given size, converting each entry to RunStats.
+func groupTrials(results []any, trials int) [][]RunStats {
+	var groups [][]RunStats
+	for i := 0; i < len(results); i += trials {
+		runs := make([]RunStats, 0, trials)
+		for _, r := range results[i : i+trials] {
+			runs = append(runs, r.(RunStats))
+		}
+		groups = append(groups, runs)
+	}
+	return groups
 }
 
 // Print renders the table with the paper's values interleaved.
