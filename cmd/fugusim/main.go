@@ -6,12 +6,20 @@
 //
 //	fugusim list
 //	fugusim run [flags] <experiment>... | all
+//	fugusim trace [flags] <experiment>
 //
 // Experiments are discovered from the harness registry (`fugusim list`
 // prints them). Sweep points and trials fan out across -j workers; results
 // are deterministic regardless of the worker count, because every point is
 // an independent simulated machine and results are assembled by point
-// index, not completion order.
+// index, not completion order. Flags may appear before or after experiment
+// names (`fugusim run fig9 -quick -metrics out/`).
+//
+// `run -metrics <dir>` writes each experiment's merged registry snapshot
+// (every point machine's counters, gauges and histograms) as
+// <experiment>.metrics.json and .csv. `trace` runs one sweep point serially
+// with an event log installed and exports it as Chrome trace_event JSON
+// (chrome://tracing, Perfetto) or JSON Lines.
 //
 // Quick mode (default) scales workloads down so the whole suite runs in
 // minutes; -full uses the paper's sizes. This command is the only place
@@ -22,24 +30,31 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"fugu/internal/harness"
+	"fugu/internal/metrics"
+	"fugu/internal/trace"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run the paper-scale workloads (slow)")
+	quick := flag.Bool("quick", false, "run the scaled-down workloads (the default; -full overrides)")
 	trials := flag.Int("trials", 0, "trials per data point (default: 1 quick, 3 full)")
 	seed := flag.Uint64("seed", 1, "base random seed (trial t runs at seed+t)")
 	csvDir := flag.String("csv", "", "also write experiment data as CSV files into this directory")
+	metricsDir := flag.String("metrics", "", "write merged registry snapshots (JSON+CSV) into this directory")
 	jobs := flag.Int("j", 0, "worker-pool size for sweep points (default: GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report each completed sweep point on stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage:\n")
 		fmt.Fprintf(os.Stderr, "  fugusim list\n")
 		fmt.Fprintf(os.Stderr, "  fugusim run [flags] <experiment>... | all\n")
+		fmt.Fprintf(os.Stderr, "  fugusim trace [flags] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", harness.Names())
 		flag.PrintDefaults()
 	}
@@ -54,16 +69,23 @@ func main() {
 	case "list":
 		list(os.Stdout)
 		return
+	case "trace":
+		traceCmd(flag.Args()[1:])
+		return
 	case "run":
-		// Flags may also follow the subcommand: `fugusim run -j 4 fig9`.
-		flag.CommandLine.Parse(flag.Args()[1:])
-		names = flag.Args()
+		// Flags may also follow the subcommand and the experiment names:
+		// `fugusim run fig9 -quick -metrics out/`.
+		names = parseInterleaved(flag.CommandLine, flag.Args()[1:])
 	default:
 		// Legacy spelling: `fugusim table4`, `fugusim all`.
-		names = flag.Args()
+		names = parseInterleaved(flag.CommandLine, flag.Args())
 	}
 	if len(names) == 0 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *quick && *full {
+		fmt.Fprintln(os.Stderr, "fugusim: -quick and -full are mutually exclusive")
 		os.Exit(2)
 	}
 	names = expandNames(names)
@@ -98,6 +120,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fugusim: unknown experiment %q (try `fugusim list`)\n", name)
 			os.Exit(2)
 		}
+		if *metricsDir != "" {
+			runner.OnMetrics = writeMetrics(*metricsDir, exp.Name)
+		}
 		start := time.Now()
 		fmt.Printf("== %s ==\n", exp.Name)
 		res, err := runner.Run(ctx, exp, opts...)
@@ -117,6 +142,132 @@ func main() {
 				}
 			}
 		}
+	}
+}
+
+// writeMetrics returns the Runner hook that saves an experiment's merged
+// snapshot as <name>.metrics.json and <name>.metrics.csv under dir.
+func writeMetrics(dir, name string) func(metrics.Snapshot) {
+	return func(s metrics.Snapshot) {
+		err := harness.WriteCSV(dir, name+".metrics.json", string(s.JSON()))
+		if err == nil {
+			err = harness.WriteCSV(dir, name+".metrics.csv", s.CSV())
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fugusim: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// traceCmd implements `fugusim trace`: run one sweep point of an experiment
+// serially with an event log installed, then export the timeline.
+func traceCmd(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	cats := fs.String("cats", "", "comma-separated categories to record (default all): mode,sched,overflow,message")
+	out := fs.String("o", "-", "output path (- writes to stdout)")
+	jsonl := fs.Bool("jsonl", false, "emit JSON Lines instead of Chrome trace_event JSON")
+	point := fs.Int("point", 0, "sweep point index to trace (see -list)")
+	listPts := fs.Bool("list", false, "list the experiment's sweep points and exit")
+	capN := fs.Int("cap", 1<<16, "event ring capacity; oldest events beyond it are dropped")
+	seed := fs.Uint64("seed", 1, "base random seed")
+	full := fs.Bool("full", false, "run the paper-scale workload (slow)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fugusim trace [flags] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", harness.Names())
+		fs.PrintDefaults()
+	}
+	names := parseInterleaved(fs, args)
+	if len(names) != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	exp, ok := harness.Lookup(names[0])
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fugusim: unknown experiment %q (try `fugusim list`)\n", names[0])
+		os.Exit(2)
+	}
+
+	enabled, err := trace.ParseCats(*cats)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
+		os.Exit(2)
+	}
+	log := trace.New(*capN)
+	log.Enable(enabled...)
+
+	opts := []harness.Option{
+		harness.WithSeed(*seed), harness.WithTrials(1),
+		harness.WithParallelism(1), harness.WithTrace(log),
+	}
+	if *full {
+		opts = append(opts, harness.WithFull())
+	} else {
+		opts = append(opts, harness.WithQuick())
+	}
+	opt := harness.NewOptions(opts...)
+	pts := exp.Points(opt)
+	if *listPts {
+		for i, pt := range pts {
+			fmt.Printf("%3d  %s\n", i, pt.Label)
+		}
+		return
+	}
+	if *point < 0 || *point >= len(pts) {
+		fmt.Fprintf(os.Stderr, "fugusim: point %d out of range (%s has %d points; see -list)\n",
+			*point, exp.Name, len(pts))
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	pt := pts[*point]
+	fmt.Fprintf(os.Stderr, "tracing %s point %d (%s)\n", exp.Name, *point, pt.Label)
+	if _, err := pt.Run(ctx, opt); err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: %s (%s): %v\n", exp.Name, pt.Label, err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *jsonl {
+		err = log.WriteJSONL(w)
+	} else {
+		err = log.WriteChromeTrace(w)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: trace export: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%d events recorded (%d retained, %d dropped)\n",
+		log.Total(), log.Total()-log.Dropped(), log.Dropped())
+}
+
+// parseInterleaved parses flags that may appear before, between or after
+// positional arguments; Go's flag package stops at the first positional, so
+// re-parse the remainder each time one (or a run of them) is collected.
+func parseInterleaved(fs *flag.FlagSet, args []string) []string {
+	var names []string
+	for {
+		fs.Parse(args) // ExitOnError: a bad flag never returns
+		args = fs.Args()
+		i := 0
+		for i < len(args) && !strings.HasPrefix(args[i], "-") {
+			names = append(names, args[i])
+			i++
+		}
+		if i == len(args) {
+			return names
+		}
+		args = args[i:]
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"fugu/internal/cpu"
+	"fugu/internal/metrics"
 	"fugu/internal/udm"
 )
 
@@ -91,6 +92,8 @@ type Node struct {
 
 	// Statistics.
 	Hits, Misses uint64 // section starts served locally vs via protocol
+
+	mHits, mMisses *metrics.Counter
 }
 
 // handler id base: CRL claims 0x100..0x1ff of the handler space.
@@ -115,6 +118,9 @@ func New(ep *udm.EP, nodes int) *Node {
 		regions: make(map[RegionID]*Region),
 		dir:     make(map[RegionID]*dirEntry),
 	}
+	r := ep.Process().Metrics()
+	n.mHits = r.Counter("crl.hits")
+	n.mMisses = r.Counter("crl.misses")
 	n.registerHandlers()
 	return n
 }
@@ -194,6 +200,7 @@ func (n *Node) StartRead(t *cpu.Task, r *Region) {
 	e.Spend(costSectionCheck)
 	if r.st == invalid {
 		n.Misses++
+		n.mMisses.Inc()
 		r.acq = acqRead
 		target := r.wait.Value() + 1
 		e.Inject(r.home, hReadReq, uint64(r.id), uint64(n.self))
@@ -204,6 +211,7 @@ func (n *Node) StartRead(t *cpu.Task, r *Region) {
 		}
 	} else {
 		n.Hits++
+		n.mHits.Inc()
 	}
 	r.readers++
 	r.acq = acqNone
@@ -266,6 +274,7 @@ func (n *Node) StartWrite(t *cpu.Task, r *Region) {
 	}
 	if r.st != exclusive {
 		n.Misses++
+		n.mMisses.Inc()
 		r.acq = acqWrite
 		target := r.wait.Value() + 1
 		e.Inject(r.home, hWriteReq, uint64(r.id), uint64(n.self))
@@ -275,6 +284,7 @@ func (n *Node) StartWrite(t *cpu.Task, r *Region) {
 		}
 	} else {
 		n.Hits++
+		n.mHits.Inc()
 	}
 	r.writing = true
 	r.acq = acqNone

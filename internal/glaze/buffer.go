@@ -20,6 +20,12 @@ type swBuffer struct {
 	// virtual page number. Reached via the second logical network.
 	swap map[uint64][]uint64
 
+	// meta tracks per-message timestamps in insertion order, parallel to the
+	// buffered records. It is simulator bookkeeping (latency and residency
+	// instrumentation), not simulated memory: it consumes no frames and never
+	// pages, so recording it cannot perturb experiment results.
+	meta []msgMeta
+
 	noReclaim bool // pinned-buffer ablation: never release pages
 
 	inserted   uint64 // lifetime pushes
@@ -36,16 +42,24 @@ func newSWBuffer(frames *vm.Frames) *swBuffer {
 	}
 }
 
+// msgMeta carries a buffered message's timestamps: when the sender injected
+// it and when the insert handler copied it into the buffer.
+type msgMeta struct {
+	sentAt     uint64
+	insertedAt uint64
+}
+
 // pushResult reports what the insert handler must charge for.
 type pushResult struct {
 	newPages int // pages demand-allocated (vmalloc path)
 	pagedOut int // pages evicted to backing store to make room
 }
 
-// push appends a message. It never fails: when the frame pool is exhausted
-// it evicts the oldest fully-written buffer pages ahead of the tail to
-// backing store (the guaranteed-delivery path of Section 4.2).
-func (b *swBuffer) push(words []uint64) pushResult {
+// push appends a message stamped with its injection time (sentAt) and the
+// current time. It never fails: when the frame pool is exhausted it evicts
+// the oldest fully-written buffer pages ahead of the tail to backing store
+// (the guaranteed-delivery path of Section 4.2).
+func (b *swBuffer) push(words []uint64, sentAt, now uint64) pushResult {
 	var res pushResult
 	need := uint64(len(words)) + 1
 	// Ensure residency for every page the record touches.
@@ -60,6 +74,7 @@ func (b *swBuffer) push(words []uint64) pushResult {
 	b.tail += need
 	b.count++
 	b.inserted++
+	b.meta = append(b.meta, msgMeta{sentAt: sentAt, insertedAt: now})
 	if res.newPages > 0 {
 		b.vmallocs++
 	}
@@ -161,17 +176,29 @@ func (b *swBuffer) touch(addr uint64) int {
 	return 1 + res.pagedOut // paging in may itself have evicted
 }
 
+// headSentAt returns the injection time of the head message, false if empty.
+func (b *swBuffer) headSentAt() (uint64, bool) {
+	if len(b.meta) == 0 {
+		return 0, false
+	}
+	return b.meta[0].sentAt, true
+}
+
 // pop consumes the head message, unmapping buffer pages wholly behind the
-// reader so physical consumption tracks the live window.
-func (b *swBuffer) pop() {
+// reader so physical consumption tracks the live window. It returns the
+// consumed message's timestamps for residency accounting.
+func (b *swBuffer) pop() msgMeta {
 	if b.count == 0 {
 		panic("glaze: pop from empty software buffer")
 	}
+	meta := b.meta[0]
+	copy(b.meta, b.meta[1:])
+	b.meta = b.meta[:len(b.meta)-1]
 	n, _ := b.headLen()
 	b.head += uint64(n) + 1
 	b.count--
 	if b.noReclaim {
-		return
+		return meta
 	}
 	// Reclaim pages fully consumed: every page strictly below the head's
 	// current page holds only read data.
@@ -196,6 +223,7 @@ func (b *swBuffer) pop() {
 			delete(b.swap, vp)
 		}
 	}
+	return meta
 }
 
 // pagesResident returns physical pages currently consumed by the buffer.

@@ -1,9 +1,17 @@
 package glaze
 
+import "fugu/internal/trace"
+
 // ConfigOption adjusts a Config. Options compose over DefaultConfig via
 // NewConfig or over any explicit base via NewMachine(cfg, opts...), so
 // callers no longer reach into struct fields for the common knobs.
 type ConfigOption func(*Config)
+
+// WithTrace installs an event log on the machine. Enable the categories of
+// interest on the log before running.
+func WithTrace(l *trace.Log) ConfigOption {
+	return func(c *Config) { c.Trace = l }
+}
 
 // WithMesh sets the mesh dimensions (the machine has w*h nodes).
 func WithMesh(w, h int) ConfigOption {

@@ -1,5 +1,7 @@
 package glaze
 
+import "fugu/internal/metrics"
+
 // Gang is the system scheduler: loose gang scheduling driven by each node's
 // local cycle counter, as in the paper (a user-level server with
 // synchronized-but-skewable clocks). Every node cycles through the same slot
@@ -18,6 +20,11 @@ type Gang struct {
 	started bool
 	// Statistics.
 	Switches uint64
+
+	// Occupancy instruments: total slot ticks vs ticks that ran the null
+	// slot. scheduled/(scheduled+null) is the gang occupancy fraction.
+	mTicks     *metrics.Counter
+	mTicksNull *metrics.Counter
 }
 
 // NewGang configures the scheduler. skew is the experiment knob: node i's
@@ -31,6 +38,8 @@ func (m *Machine) NewGang(quantum uint64, skew float64, slots ...*Job) *Gang {
 		slots:   slots,
 		idx:     make([]int, m.Net.Nodes()),
 	}
+	g.mTicks = m.Metrics.Counter("gang.ticks")
+	g.mTicksNull = m.Metrics.Counter("gang.ticks.null")
 	m.Gang = g
 	return g
 }
@@ -86,6 +95,10 @@ func (g *Gang) tick(node int) {
 	k.switchValid = true
 	k.gangIRQ.Raise()
 	g.Switches++
+	g.mTicks.Inc()
+	if p == nil {
+		g.mTicksNull.Inc()
+	}
 	g.m.Eng.Schedule(g.quantum, func() { g.tick(node) })
 }
 

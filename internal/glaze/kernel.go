@@ -5,6 +5,7 @@ import (
 
 	"fugu/internal/cpu"
 	"fugu/internal/mesh"
+	"fugu/internal/metrics"
 	"fugu/internal/nic"
 	"fugu/internal/trace"
 	"fugu/internal/vm"
@@ -52,6 +53,24 @@ type Kernel struct {
 	StrayMessages  uint64 // messages for unknown GIDs (dropped)
 	KernelMsgs     uint64
 	OverflowTrips  uint64
+
+	// Metrics instruments, bound to the node's registry at construction.
+	reg               *metrics.Registry
+	mInserts          *metrics.Counter
+	mInsertVMAllocs   *metrics.Counter
+	mStray            *metrics.Counter
+	mKernelMsgs       *metrics.Counter
+	mRevocations      *metrics.Counter
+	mFaultsInHandler  *metrics.Counter
+	mCtxSwitches      *metrics.Counter
+	mOverflowTrips    *metrics.Counter
+	mOverflowReleases *metrics.Counter
+	mEnterInsert      *metrics.Counter
+	mEnterRevoke      *metrics.Counter
+	mEnterFault       *metrics.Counter
+	mExitBuffered     *metrics.Counter
+	mFramesInUse      *metrics.Gauge
+	mResidency        *metrics.Histogram
 }
 
 func newKernel(m *Machine, node int) *Kernel {
@@ -64,6 +83,7 @@ func newKernel(m *Machine, node int) *Kernel {
 		cost:   m.cost,
 		procs:  make(map[nic.GID]*Process),
 	}
+	k.bindMetrics(m.Nodes[node].Metrics)
 	k.ni.SetGID(nullGID)
 	k.mismatchIRQ = k.cpu.NewIRQ(fmt.Sprintf("mismatch%d", node), k.mismatchISR)
 	k.timeoutIRQ = k.cpu.NewIRQ(fmt.Sprintf("timeout%d", node), k.timeoutISR)
@@ -82,6 +102,28 @@ func newKernel(m *Machine, node int) *Kernel {
 	})
 	m.Net.Register(node, mesh.OS, (*osEndpoint)(k))
 	return k
+}
+
+// bindMetrics creates the kernel's named instruments in the node registry.
+// The names form the "glaze." namespace: buffer-insert activity, two-case
+// transition causes, overflow control and frame-pool pressure.
+func (k *Kernel) bindMetrics(r *metrics.Registry) {
+	k.reg = r
+	k.mInserts = r.Counter("glaze.buffer.inserts")
+	k.mInsertVMAllocs = r.Counter("glaze.buffer.insert_vmallocs")
+	k.mStray = r.Counter("glaze.stray_messages")
+	k.mKernelMsgs = r.Counter("glaze.kernel_msgs")
+	k.mRevocations = r.Counter("glaze.revocations")
+	k.mFaultsInHandler = r.Counter("glaze.faults_in_handler")
+	k.mCtxSwitches = r.Counter("glaze.context_switches")
+	k.mOverflowTrips = r.Counter("glaze.overflow.trips")
+	k.mOverflowReleases = r.Counter("glaze.overflow.releases")
+	k.mEnterInsert = r.Counter("glaze.mode.enter_buffered.insert")
+	k.mEnterRevoke = r.Counter("glaze.mode.enter_buffered.revoke")
+	k.mEnterFault = r.Counter("glaze.mode.enter_buffered.fault")
+	k.mExitBuffered = r.Counter("glaze.mode.exit_buffered")
+	k.mFramesInUse = r.Gauge("glaze.frames.in_use")
+	k.mResidency = r.Histogram("glaze.buffer.residency")
 }
 
 // Node returns the node this kernel manages.
@@ -122,6 +164,7 @@ func (k *Kernel) mismatchISR(t *cpu.Task) {
 		}
 		if nic.HeaderIsKernel(h) {
 			k.KernelMsgs++
+			k.mKernelMsgs.Inc()
 			t.Spend(k.cost.BufferInsertMin) // treat as a short kernel handler
 			k.ni.KDispose()
 			continue
@@ -132,19 +175,20 @@ func (k *Kernel) mismatchISR(t *cpu.Task) {
 			// FUGU notifies the global scheduler about the offender; we
 			// count and drop.
 			k.StrayMessages++
+			k.mStray.Inc()
 			t.Spend(k.cost.BufferInsertMin)
 			k.ni.KDispose()
 			continue
 		}
-		k.bufferInsert(t, p, pkt.Words)
+		k.bufferInsert(t, p, pkt)
 		k.ni.KDispose()
 	}
 }
 
 // bufferInsert copies one message into p's virtual buffer, charging the
 // Table 5 costs, and performs the overflow-control checks.
-func (k *Kernel) bufferInsert(t *cpu.Task, p *Process, words []uint64) {
-	res := p.buf.push(words)
+func (k *Kernel) bufferInsert(t *cpu.Task, p *Process, pkt *mesh.Packet) {
+	res := p.buf.push(pkt.Words, pkt.SentAt, k.m.Eng.Now())
 	cost := k.cost.BufferInsertMin
 	if res.newPages > 0 {
 		cost = k.cost.BufferInsertVMAlloc
@@ -153,12 +197,17 @@ func (k *Kernel) bufferInsert(t *cpu.Task, p *Process, words []uint64) {
 	cost += k.cost.PageOut * uint64(res.pagedOut)
 	t.Spend(cost)
 	k.Inserts++
+	k.mInserts.Inc()
 	if res.newPages > 0 {
 		k.InsertVMAllocs++
+		k.mInsertVMAllocs.Inc()
 	}
-	p.Deliv.Buffered++
+	k.mFramesInUse.Set(int64(k.frames.InUse()))
+	p.mBufPages.Set(int64(p.buf.pagesResident()))
+	p.CountDelivery(false)
 	if !p.buffered {
 		p.buffered = true
+		k.mEnterInsert.Inc()
 		k.m.Trace.Add(k.m.Eng.Now(), k.node, trace.Mode, "enter buffered %s (insert)", p.job.name)
 		if p.scheduled {
 			k.ni.SetDivert(true)
@@ -181,6 +230,8 @@ func (k *Kernel) timeoutISR(t *cpu.Task) {
 	t.Spend(k.cost.RevokeCost)
 	k.m.Trace.Add(k.m.Eng.Now(), k.node, trace.Mode, "revoke %s (uac=%#x)", p.job.name, k.ni.UAC())
 	p.Revocations++
+	k.mRevocations.Inc()
+	k.mEnterRevoke.Inc()
 	p.buffered = true
 	// If the user was inside an atomic section (it was, or the timer would
 	// not have run), buffered delivery is deferred until the section ends;
@@ -217,6 +268,7 @@ func (k *Kernel) contextSwitchTo(t *cpu.Task, p *Process) {
 		k.m.Trace.Add(k.m.Eng.Now(), k.node, trace.Sched, "switch to %s", name)
 	}
 	t.Spend(k.cost.ContextSwitch)
+	k.mCtxSwitches.Inc()
 	if old := k.current; old != nil {
 		old.uacShadow = k.ni.UAC()
 		old.descShadow = k.ni.ClearDescriptor()
@@ -270,7 +322,10 @@ func (k *Kernel) UserDispose(t *cpu.Task, p *Process) {
 // that freed its message through the emulation can exit its atomic section.
 func (k *Kernel) disposeExtend(t *cpu.Task, p *Process) {
 	k.ni.SetUACKernel(nic.UACDisposePending, false)
-	p.buf.pop()
+	meta := p.buf.pop()
+	k.mResidency.Observe(k.m.Eng.Now() - meta.insertedAt)
+	k.mFramesInUse.Set(int64(k.frames.InUse()))
+	p.mBufPages.Set(int64(p.buf.pagesResident()))
 	if p.buf.empty() {
 		k.exitBuffered(t, p)
 	}
@@ -319,6 +374,7 @@ func (k *Kernel) exitBuffered(t *cpu.Task, p *Process) {
 		return
 	}
 	k.m.Trace.Add(k.m.Eng.Now(), k.node, trace.Mode, "exit buffered %s", p.job.name)
+	k.mExitBuffered.Inc()
 	p.buffered = false
 	p.atomicVirtual = false
 	if p.scheduled {
@@ -342,10 +398,13 @@ func (k *Kernel) Touch(t *cpu.Task, p *Process, addr uint64, inHandler bool) {
 		panic("glaze: data page fault with exhausted frame pool (overflow control failed)")
 	}
 	t.Spend(k.cost.FaultService)
+	k.mFramesInUse.Set(int64(k.frames.InUse()))
 	if inHandler {
 		p.FaultsInHandler++
+		k.mFaultsInHandler.Inc()
 		if !p.buffered {
 			p.buffered = true
+			k.mEnterFault.Inc()
 			p.atomicVirtual = true // the faulting handler holds atomicity
 			k.ni.SetUACKernel(nic.UACAtomicityExtend, true)
 			k.ni.SetDivert(true)
@@ -373,6 +432,7 @@ func (k *Kernel) checkOverflow(t *cpu.Task, p *Process) {
 		return
 	}
 	k.OverflowTrips++
+	k.mOverflowTrips.Inc()
 	k.m.Trace.Add(k.m.Eng.Now(), k.node, trace.Overflow, "trip %s: %d/%d frames",
 		p.job.name, k.frames.InUse(), k.frames.Total())
 	p.job.overflowed = true
@@ -391,6 +451,7 @@ func (k *Kernel) maybeLiftOverflow(p *Process) {
 		return
 	}
 	p.job.overflowed = false
+	k.mOverflowReleases.Inc()
 	k.m.Trace.Add(k.m.Eng.Now(), k.node, trace.Overflow, "release %s", p.job.name)
 	k.broadcastOS(osOpResumeJob, uint64(p.gid))
 	if k.m.Gang != nil {

@@ -5,6 +5,7 @@ import (
 
 	"fugu/internal/cpu"
 	"fugu/internal/mesh"
+	"fugu/internal/metrics"
 	"fugu/internal/nic"
 	"fugu/internal/sim"
 	"fugu/internal/trace"
@@ -28,6 +29,10 @@ type Config struct {
 	// to the frame pool, modelling a pinned-buffer design against which
 	// virtual buffering's physical-memory advantage is measured.
 	NoBufferReclaim bool
+
+	// Trace, when non-nil, is installed as the machine's event log. Enable
+	// the categories of interest before running.
+	Trace *trace.Log
 }
 
 // DefaultConfig returns the configuration the experiments use: eight nodes
@@ -51,6 +56,10 @@ type Node struct {
 	NI     *nic.NI
 	Frames *vm.Frames
 	Kernel *Kernel
+
+	// Metrics is the node's instrument registry: NI, kernel, delivery and
+	// CRL instruments for this node record here.
+	Metrics *metrics.Registry
 }
 
 // Machine is a simulated FUGU multiprocessor.
@@ -71,6 +80,11 @@ type Machine struct {
 	// Enable categories before running: m.Trace = trace.New(4096);
 	// m.Trace.Enable(trace.Mode, trace.Overflow).
 	Trace *trace.Log
+
+	// Metrics holds the machine-wide instruments (engine, mesh, gang
+	// scheduler); per-node instruments live on each Node. MetricsSnapshot
+	// merges all of them.
+	Metrics *metrics.Registry
 }
 
 // NewMachine builds the machine: engine, mesh, per-node CPU, NI, frame pool
@@ -87,17 +101,23 @@ func NewMachine(cfg Config, opts ...ConfigOption) *Machine {
 		nextGID:        1,
 		alwaysBuffered: cfg.AlwaysBuffered,
 		noReclaim:      cfg.NoBufferReclaim,
+		Trace:          cfg.Trace,
+		Metrics:        metrics.NewRegistry(),
 	}
+	eng.UseMetrics(m.Metrics)
+	m.Net.UseMetrics(m.Metrics)
 	n := cfg.W * cfg.H
 	m.Nodes = make([]*Node, n)
 	for i := 0; i < n; i++ {
 		node := &Node{
-			Index:  i,
-			CPU:    cpu.New(eng, fmt.Sprintf("cpu%d", i)),
-			Frames: vm.NewFrames(cfg.FramesPerNode),
+			Index:   i,
+			CPU:     cpu.New(eng, fmt.Sprintf("cpu%d", i)),
+			Frames:  vm.NewFrames(cfg.FramesPerNode),
+			Metrics: metrics.NewRegistry(),
 		}
 		node.NI = nic.New(eng, m.Net, i, cfg.NIConfig)
 		node.NI.AttachCPU(node.CPU)
+		node.NI.UseMetrics(node.Metrics)
 		m.Nodes[i] = node
 	}
 	for i := 0; i < n; i++ {
@@ -108,6 +128,18 @@ func NewMachine(cfg Config, opts ...ConfigOption) *Machine {
 
 // Cost returns the machine's cost model.
 func (m *Machine) Cost() CostModel { return m.cost }
+
+// MetricsSnapshot merges the machine-wide and every node's registry into one
+// snapshot: counters and histogram contents sum across nodes; gauge maxima
+// report the worst single node (per-node high-water semantics).
+func (m *Machine) MetricsSnapshot() metrics.Snapshot {
+	parts := make([]metrics.Snapshot, 0, len(m.Nodes)+1)
+	parts = append(parts, m.Metrics.Snapshot())
+	for _, node := range m.Nodes {
+		parts = append(parts, node.Metrics.Snapshot())
+	}
+	return metrics.Merge(parts...)
+}
 
 // NewJob creates a gang-scheduled job with one process per node.
 func (m *Machine) NewJob(name string) *Job {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fugu/internal/cpu"
+	"fugu/internal/metrics"
 	"fugu/internal/nic"
 	"fugu/internal/stats"
 	"fugu/internal/vm"
@@ -56,6 +57,14 @@ type Process struct {
 	Deliv           stats.Delivery
 	Revocations     uint64 // atomicity timeouts against this process
 	FaultsInHandler uint64
+
+	// Delivery instruments, bound to the node registry (shared across the
+	// node's processes — the registry aggregates per node).
+	mFast        *metrics.Counter
+	mBuffered    *metrics.Counter
+	mLatFast     *metrics.Histogram
+	mLatBuffered *metrics.Histogram
+	mBufPages    *metrics.Gauge
 }
 
 func newProcess(k *Kernel, job *Job, gid nic.GID) *Process {
@@ -69,6 +78,11 @@ func newProcess(k *Kernel, job *Job, gid nic.GID) *Process {
 		Space:     vm.NewSpace(k.frames),
 		buf:       newSWBuffer(k.frames),
 	}
+	p.mFast = k.reg.Counter("glaze.deliver.fast")
+	p.mBuffered = k.reg.Counter("glaze.deliver.buffered")
+	p.mLatFast = k.reg.Histogram("glaze.deliver.latency.fast")
+	p.mLatBuffered = k.reg.Histogram("glaze.deliver.latency.buffered")
+	p.mBufPages = k.reg.Gauge("glaze.buffer.pages")
 	p.upcall = k.cpu.NewTask(
 		fmt.Sprintf("%s.%d.upcall", job.name, k.node),
 		cpu.PrioHandler, cpu.DomainUser,
@@ -112,6 +126,46 @@ func (p *Process) Kernel() *Kernel { return p.kern }
 // NI returns the node's network interface. User-level code accesses it
 // directly in the fast case — that is the whole point of the paper.
 func (p *Process) NI() *nic.NI { return p.kern.ni }
+
+// Metrics returns the node's instrument registry, so higher layers (udm,
+// crl) can bind their own named instruments next to the kernel's.
+func (p *Process) Metrics() *metrics.Registry { return p.kern.reg }
+
+// CountDelivery tallies one delivered message on the given path, updating
+// both the legacy Deliv counters and the named node instruments
+// ("glaze.deliver.fast" / "glaze.deliver.buffered").
+func (p *Process) CountDelivery(fast bool) {
+	if fast {
+		p.Deliv.Fast++
+		p.mFast.Inc()
+	} else {
+		p.Deliv.Buffered++
+		p.mBuffered.Inc()
+	}
+}
+
+// ObserveLatency records one message's injection-to-disposal latency into
+// the per-path end-to-end histogram.
+func (p *Process) ObserveLatency(fast bool, cycles uint64) {
+	if fast {
+		p.mLatFast.Observe(cycles)
+	} else {
+		p.mLatBuffered.Observe(cycles)
+	}
+}
+
+// HeadSentAt returns the injection time of the message an extract would
+// read — from the NI's head packet in direct mode, from the buffer metadata
+// in buffered mode. ok is false with no message pending.
+func (p *Process) HeadSentAt() (at uint64, ok bool) {
+	if p.buffered {
+		return p.buf.headSentAt()
+	}
+	if pkt := p.kern.ni.HeadPacket(); pkt != nil {
+		return pkt.SentAt, true
+	}
+	return 0, false
+}
 
 // Buffered reports whether the process is in software-buffered mode.
 func (p *Process) Buffered() bool { return p.buffered }

@@ -53,7 +53,7 @@ func fig7and8Experiment() *Experiment {
 						pts = append(pts, Point{
 							Label: fmt.Sprintf("%s skew=%.1f%% trial=%d", name, skew*100, trial),
 							Run: func(_ context.Context, opt Options) (any, error) {
-								return RunMultiprogrammedQ(mk, skew, opt.TrialSeed(trial), opt.QuantumFor(), nil), nil
+								return RunMultiprogrammedQ(mk, skew, opt.TrialSeed(trial), opt.QuantumFor(), opt.machineMut(nil)), nil
 							},
 						})
 					}
@@ -184,7 +184,7 @@ func fig9Experiment() *Experiment {
 							Run: func(_ context.Context, opt Options) (any, error) {
 								return RunMultiprogrammedQ(
 									func() apps.Instance { return apps.NewSynth(n, synthGroups(n, opt.Quick), tb) },
-									0.01, opt.TrialSeed(trial), Quantum, nil), nil
+									0.01, opt.TrialSeed(trial), Quantum, opt.machineMut(nil)), nil
 							},
 						})
 					}
@@ -276,7 +276,7 @@ func fig10Experiment() *Experiment {
 								return RunMultiprogrammed(
 									func() apps.Instance { return apps.NewSynth(n, synthGroups(n, opt.Quick), 275) },
 									0.01, opt.TrialSeed(trial),
-									func(cfg *glaze.Config) { cfg.Cost.ExtraBufferCost = extra }), nil
+									opt.machineMut(func(cfg *glaze.Config) { cfg.Cost.ExtraBufferCost = extra })), nil
 							},
 						})
 					}

@@ -19,6 +19,7 @@ import (
 
 	"fugu/internal/apps"
 	"fugu/internal/glaze"
+	"fugu/internal/metrics"
 )
 
 // machineConfig builds the standard 8-node experiment machine.
@@ -65,19 +66,37 @@ type RunStats struct {
 	MaxBufferPages int
 	TBetw, THand   float64
 	Err            error
+	// Metrics is the machine-wide registry snapshot taken at completion
+	// (per-node registries merged). Trials merge rather than average — see
+	// averageStats.
+	Metrics metrics.Snapshot
 }
+
+// MetricsSnapshot exposes the run's merged registry snapshot; RunStats
+// satisfies the Runner's MetricsCarrier, so sweeps built from application
+// runs feed the per-point metrics hook with no extra plumbing.
+func (r RunStats) MetricsSnapshot() metrics.Snapshot { return r.Metrics }
 
 // RunStandalone executes an instance alone on eight nodes (Table 6 rows).
 func RunStandalone(make func() apps.Instance, seed uint64) RunStats {
+	return RunStandaloneMut(make, seed, nil)
+}
+
+// RunStandaloneMut is RunStandalone with a config mutator (trace installs,
+// cost-model tweaks).
+func RunStandaloneMut(make func() apps.Instance, seed uint64, mut func(*glaze.Config)) RunStats {
 	inst := make()
 	cfg := machineConfig(seed)
+	if mut != nil {
+		mut(&cfg)
+	}
 	m := glaze.NewMachine(cfg)
 	job := m.NewJob(inst.Name())
-	rig := instrument(m, job, inst)
+	instrument(m, job, inst)
 	m.NewGang(1<<40, 0, job).Start()
 	start := m.Eng.Now()
 	m.RunUntilDone(0, job)
-	return collect(inst, job, rig, 0, job.DoneAt()-start)
+	return collect(inst, job, m, 0, job.DoneAt()-start)
 }
 
 // RunMultiprogrammed executes an instance against a null application under
@@ -96,11 +115,11 @@ func RunMultiprogrammedQ(make func() apps.Instance, skew float64, seed uint64, q
 	m := glaze.NewMachine(cfg)
 	job := m.NewJob(inst.Name())
 	null := m.NewJob("null")
-	rig := instrument(m, job, inst)
+	instrument(m, job, inst)
 	apps.Null{}.Start(m, null)
 	m.NewGang(quantum, skew, job, null).Start()
 	m.RunUntilDone(0, job)
-	return collect(inst, job, rig, skew, job.DoneAt())
+	return collect(inst, job, m, skew, job.DoneAt())
 }
 
 // instrument starts the instance and keeps the rig for characterization.
@@ -112,7 +131,7 @@ func instrument(m *glaze.Machine, job *glaze.Job, inst apps.Instance) *glaze.Job
 }
 
 // collect assembles RunStats after completion.
-func collect(inst apps.Instance, job *glaze.Job, _ *glaze.Job, skew float64, runtime uint64) RunStats {
+func collect(inst apps.Instance, job *glaze.Job, m *glaze.Machine, skew float64, runtime uint64) RunStats {
 	d := job.Delivery()
 	rs := RunStats{
 		App:            inst.Name(),
@@ -124,6 +143,7 @@ func collect(inst apps.Instance, job *glaze.Job, _ *glaze.Job, skew float64, run
 		BufferedPct:    d.BufferedPct(),
 		MaxBufferPages: job.MaxBufferPages(),
 		Err:            inst.Check(),
+		Metrics:        m.MetricsSnapshot(),
 	}
 	rs.Msgs = d.Total()
 	if rs.Msgs > 0 {
@@ -151,12 +171,20 @@ func handlerMean(job *glaze.Job) float64 {
 	return float64(cycles) / float64(msgs)
 }
 
-// averageStats averages runs (trials) of the same configuration.
+// averageStats averages runs (trials) of the same configuration. Registry
+// snapshots are merged, not averaged: counts sum across trials (exact and
+// deterministic, unlike a truncating division), so merged metrics from a
+// parallel sweep are bit-identical to a serial one.
 func averageStats(runs []RunStats) RunStats {
 	if len(runs) == 1 {
 		return runs[0]
 	}
 	avg := runs[0]
+	snaps := make([]metrics.Snapshot, len(runs))
+	for i, r := range runs {
+		snaps[i] = r.Metrics
+	}
+	avg.Metrics = metrics.Merge(snaps...)
 	var rt, msgs, fast, buf float64
 	var pages int
 	var pct, tb, th float64

@@ -1,6 +1,11 @@
 package harness
 
-import "runtime"
+import (
+	"runtime"
+
+	"fugu/internal/glaze"
+	"fugu/internal/trace"
+)
 
 // Options is the resolved experiment configuration. Construct it with
 // NewOptions and functional Option values; the struct itself is kept
@@ -15,6 +20,11 @@ type Options struct {
 	// never changes results: points are keyed by enumeration index, and
 	// every point simulates its own deterministic machine.
 	Parallelism int
+	// Trace, when non-nil, is installed as every point machine's event log.
+	// The log is a single unsynchronized ring, so pair it with
+	// WithParallelism(1) (as `fugusim trace` does) — concurrent points would
+	// interleave their events arbitrarily.
+	Trace *trace.Log
 }
 
 // Option configures an experiment run.
@@ -47,6 +57,11 @@ func WithSeed(s uint64) Option { return optionFunc(func(o *Options) { o.Seed = s
 
 // WithParallelism sets the Runner's worker count.
 func WithParallelism(n int) Option { return optionFunc(func(o *Options) { o.Parallelism = n }) }
+
+// WithTrace installs an event log on every point machine the experiment
+// builds. Enable the log's categories first; run serially (see
+// Options.Trace).
+func WithTrace(l *trace.Log) Option { return optionFunc(func(o *Options) { o.Trace = l }) }
 
 // NewOptions resolves a full option set: the paper's defaults (full sizes,
 // 3 trials, seed 1) overlaid with the given options.
@@ -88,6 +103,24 @@ func (o Options) TrialSeed(trial int) uint64 { return o.Seed + uint64(trial) }
 
 // trials returns the effective trial count, at least one.
 func (o Options) trials() int { return max(1, o.Trials) }
+
+// machineMut composes the option set's machine-level installs (the trace
+// log) with a point's own config mutator. Experiment points pass the result
+// wherever a func(*glaze.Config) is accepted, so options reach every
+// machine without widening run signatures.
+func (o Options) machineMut(extra func(*glaze.Config)) func(*glaze.Config) {
+	if o.Trace == nil && extra == nil {
+		return nil
+	}
+	return func(cfg *glaze.Config) {
+		if o.Trace != nil {
+			cfg.Trace = o.Trace
+		}
+		if extra != nil {
+			extra(cfg)
+		}
+	}
+}
 
 // workers returns the effective worker-pool size.
 func (o Options) workers() int {

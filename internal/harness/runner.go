@@ -6,7 +6,15 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+
+	"fugu/internal/metrics"
 )
+
+// MetricsCarrier is implemented by point results that carry a registry
+// snapshot (RunStats does); the Runner merges these for its OnMetrics hook.
+type MetricsCarrier interface {
+	MetricsSnapshot() metrics.Snapshot
+}
 
 // Progress reports one completed point to the Runner's callback.
 type Progress struct {
@@ -28,6 +36,11 @@ type Runner struct {
 	// Progress, if non-nil, is called after every point completes. Calls
 	// are serialized; the callback need not lock.
 	Progress func(Progress)
+	// OnMetrics, if non-nil, is called once after a fully successful sweep
+	// with every point's registry snapshot merged in point-index order.
+	// Merging is commutative (sums and maxima), so the aggregate is
+	// bit-identical whatever the worker count.
+	OnMetrics func(metrics.Snapshot)
 }
 
 // Run enumerates, executes and assembles one experiment.
@@ -91,6 +104,15 @@ func (r *Runner) Run(ctx context.Context, exp *Experiment, opts ...Option) (Resu
 	}
 	if len(failed) > 0 {
 		return nil, errors.Join(failed...)
+	}
+	if r.OnMetrics != nil {
+		parts := make([]metrics.Snapshot, 0, len(results))
+		for _, res := range results {
+			if c, ok := res.(MetricsCarrier); ok {
+				parts = append(parts, c.MetricsSnapshot())
+			}
+		}
+		r.OnMetrics(metrics.Merge(parts...))
 	}
 	return exp.Assemble(opt, results)
 }

@@ -7,6 +7,7 @@ import (
 
 	"fugu/internal/cpu"
 	"fugu/internal/glaze"
+	"fugu/internal/metrics"
 	"fugu/internal/plot"
 	"fugu/internal/udm"
 )
@@ -31,6 +32,17 @@ type Table4Result struct {
 // table4Impls are the three columns of Table 4.
 var table4Impls = []glaze.AtomicityImpl{glaze.KernelMode, glaze.HardAtomicity, glaze.SoftAtomicity}
 
+// table4Point is one implementation's measurement plus the merged registry
+// snapshot of the machines that produced it (each pingpong machine delivers
+// exactly one fast-path message, so glaze.deliver.fast counts the runs).
+type table4Point struct {
+	intr, poll uint64
+	metrics    metrics.Snapshot
+}
+
+// MetricsSnapshot implements MetricsCarrier for the Runner's metrics hook.
+func (p table4Point) MetricsSnapshot() metrics.Snapshot { return p.metrics }
+
 // Table4 reproduces the cycle counts to send and receive a null message.
 func Table4(opts ...Option) (Table4Result, error) {
 	return runAs[Table4Result]("table4", opts...)
@@ -48,8 +60,7 @@ func table4Experiment() *Experiment {
 				pts[i] = Point{
 					Label: "impl=" + im.String(),
 					Run: func(context.Context, Options) (any, error) {
-						intr, poll := measureNullMessage(im)
-						return [2]uint64{intr, poll}, nil
+						return measureNullMessage(im), nil
 					},
 				}
 			}
@@ -58,8 +69,8 @@ func table4Experiment() *Experiment {
 		Assemble: func(_ Options, results []any) (Result, error) {
 			res := table4Rows()
 			for i, r := range results {
-				v := r.([2]uint64)
-				res.MeasuredIntr[i], res.MeasuredPoll[i] = v[0], v[1]
+				v := r.(table4Point)
+				res.MeasuredIntr[i], res.MeasuredPoll[i] = v.intr, v.poll
 			}
 			return res, nil
 		},
@@ -101,7 +112,8 @@ func table4Rows() Table4Result {
 // measureNullMessage times the receive path end to end on a two-node
 // machine, subtracting the send cost and wire latency so the residual is
 // the receive overhead the table reports.
-func measureNullMessage(impl glaze.AtomicityImpl) (intr, poll uint64) {
+func measureNullMessage(impl glaze.AtomicityImpl) table4Point {
+	var snaps []metrics.Snapshot
 	run := func(polling bool) uint64 {
 		cfg := glaze.DefaultConfig()
 		cfg.W, cfg.H = 2, 1
@@ -135,6 +147,7 @@ func measureNullMessage(impl glaze.AtomicityImpl) (intr, poll uint64) {
 		})
 		m.NewGang(1<<40, 0, job).Start()
 		m.RunUntilDone(0, job)
+		snaps = append(snaps, m.MetricsSnapshot())
 		wire := cfg.Latency.Delay(1, 2) // one hop, two words
 		total := handlerDone - sentAt
 		overhead := total - wire - cfg.Cost.SendCost(0)
@@ -142,13 +155,14 @@ func measureNullMessage(impl glaze.AtomicityImpl) (intr, poll uint64) {
 	}
 	// Interrupt path: the receiver main simply finishes after the upcall
 	// runs; measure via a handler-completion timestamp instead.
-	intr = measureInterrupt(impl)
-	poll = run(true)
-	return intr, poll
+	intr, intrSnap := measureInterrupt(impl)
+	poll := run(true)
+	snaps = append(snaps, intrSnap)
+	return table4Point{intr: intr, poll: poll, metrics: metrics.Merge(snaps...)}
 }
 
 // measureInterrupt times interrupt delivery: handler-entry minus arrival.
-func measureInterrupt(impl glaze.AtomicityImpl) uint64 {
+func measureInterrupt(impl glaze.AtomicityImpl) (uint64, metrics.Snapshot) {
 	cfg := glaze.DefaultConfig()
 	cfg.W, cfg.H = 2, 1
 	cfg.Cost = glaze.Costs(impl)
@@ -176,7 +190,7 @@ func measureInterrupt(impl glaze.AtomicityImpl) uint64 {
 	// handlerEnd includes the counter wake racing the upcall cleanup; the
 	// cleanup (post) cycles complete before the main thread resumes, so the
 	// residual is the full interrupt receive total.
-	return handlerEnd - sentAt - wire - cfg.Cost.SendCost(0)
+	return handlerEnd - sentAt - wire - cfg.Cost.SendCost(0), m.MetricsSnapshot()
 }
 
 // Print renders the table with the paper's reference values.

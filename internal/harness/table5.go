@@ -7,6 +7,7 @@ import (
 
 	"fugu/internal/cpu"
 	"fugu/internal/glaze"
+	"fugu/internal/metrics"
 	"fugu/internal/plot"
 	"fugu/internal/udm"
 )
@@ -23,7 +24,13 @@ type Table5Result struct {
 	MeasuredExtractMean float64 // upcall cycles per buffered delivery
 	Inserts             uint64
 	VMAllocs            uint64
+
+	// Metrics is the microbenchmark machine's registry snapshot.
+	Metrics metrics.Snapshot
 }
+
+// MetricsSnapshot implements MetricsCarrier for the Runner's metrics hook.
+func (r Table5Result) MetricsSnapshot() metrics.Snapshot { return r.Metrics }
 
 // Table5 runs the microbenchmark: a sender floods a receiver whose process
 // is not yet scheduled, so every message is inserted into the virtual
@@ -41,8 +48,8 @@ func table5Experiment() *Experiment {
 		Points: func(Options) []Point {
 			return []Point{{
 				Label: "bufbench",
-				Run: func(context.Context, Options) (any, error) {
-					return table5Measure(), nil
+				Run: func(_ context.Context, opt Options) (any, error) {
+					return table5Measure(opt.machineMut(nil)), nil
 				},
 			}}
 		},
@@ -53,8 +60,12 @@ func table5Experiment() *Experiment {
 }
 
 // table5Measure runs the flood microbenchmark on a fresh two-node machine.
-func table5Measure() Table5Result {
-	m := glaze.NewMachine(glaze.NewConfig(glaze.WithMesh(2, 1)))
+func table5Measure(mut func(*glaze.Config)) Table5Result {
+	cfg := glaze.NewConfig(glaze.WithMesh(2, 1))
+	if mut != nil {
+		mut(&cfg)
+	}
+	m := glaze.NewMachine(cfg)
 	job := m.NewJob("bufbench")
 	null := m.NewJob("null")
 	ep0 := udm.Attach(job.Process(0))
@@ -88,6 +99,7 @@ func table5Measure() Table5Result {
 		Extract:       cm.BufferedNullHandler,
 		Inserts:       m.Nodes[1].Kernel.Inserts,
 		VMAllocs:      job.Process(1).BufferVMAllocs(),
+		Metrics:       m.MetricsSnapshot(),
 	}
 	if res.Inserts > 0 {
 		res.MeasuredInsertMean = float64(m.Nodes[1].Kernel.MismatchConsumed()) / float64(res.Inserts)

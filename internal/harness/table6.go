@@ -48,7 +48,7 @@ func table6Experiment() *Experiment {
 					pts = append(pts, Point{
 						Label: fmt.Sprintf("%s trial=%d", name, trial),
 						Run: func(_ context.Context, opt Options) (any, error) {
-							return RunStandalone(mk, opt.TrialSeed(trial)), nil
+							return RunStandaloneMut(mk, opt.TrialSeed(trial), opt.machineMut(nil)), nil
 						},
 					})
 				}

@@ -14,6 +14,7 @@ package mesh
 import (
 	"fmt"
 
+	"fugu/internal/metrics"
 	"fugu/internal/sim"
 )
 
@@ -98,6 +99,26 @@ type Net struct {
 	// same path and cannot reorder in a wormhole mesh). Indexed src*n+dst.
 	lastArrive [numClasses][]uint64
 	stats      [numClasses]Stats
+
+	// Metrics instruments, nil (no-op) unless UseMetrics is called.
+	mPackets [numClasses]*metrics.Counter
+	mWords   [numClasses]*metrics.Counter
+	mRefused [numClasses]*metrics.Counter
+	mBlocked *metrics.Gauge // packets parked in-network (link back-pressure)
+}
+
+// UseMetrics binds the network's instruments into a registry: per-class
+// traffic counters ("mesh.<class>.packets", ".words", ".refused") and a
+// "mesh.blocked" gauge tracking packets held in the network by receiver
+// back-pressure — its Max is the worst instantaneous congestion, the mesh
+// link-utilization signal the overflow experiments care about.
+func (n *Net) UseMetrics(r *metrics.Registry) {
+	for c := Class(0); c < numClasses; c++ {
+		n.mPackets[c] = r.Counter("mesh." + c.String() + ".packets")
+		n.mWords[c] = r.Counter("mesh." + c.String() + ".words")
+		n.mRefused[c] = r.Counter("mesh." + c.String() + ".refused")
+	}
+	n.mBlocked = r.Gauge("mesh.blocked")
 }
 
 // New creates a mesh of w×h nodes on the engine with the given latency model.
@@ -156,6 +177,8 @@ func (n *Net) Send(class Class, src, dst int, words []uint64) *Packet {
 	n.nextID++
 	n.stats[class].Packets++
 	n.stats[class].Words += uint64(len(words))
+	n.mPackets[class].Inc()
+	n.mWords[class].Add(uint64(len(words)))
 	at := n.eng.Now() + n.lat.Delay(n.Hops(src, dst), len(words))
 	// Same-route FIFO: a short packet sent after a long one queues behind
 	// it rather than overtaking (length-dependent latency must not reorder
@@ -176,6 +199,7 @@ func (n *Net) deliver(pkt *Packet) {
 	if len(q) > 0 {
 		// Keep strict arrival order: never bypass blocked packets.
 		n.blocked[pkt.Class][pkt.Dst] = append(q, pkt)
+		n.mBlocked.Add(1)
 		return
 	}
 	ep := n.endpoints[pkt.Class][pkt.Dst]
@@ -184,7 +208,9 @@ func (n *Net) deliver(pkt *Packet) {
 	}
 	if !ep.Arrive(pkt) {
 		n.stats[pkt.Class].Refused++
+		n.mRefused[pkt.Class].Inc()
 		n.blocked[pkt.Class][pkt.Dst] = append(q, pkt)
+		n.mBlocked.Add(1)
 	}
 }
 
@@ -199,6 +225,7 @@ func (n *Net) NotifySpace(node int, class Class) {
 		}
 		copy(q, q[1:])
 		q = q[:len(q)-1]
+		n.mBlocked.Add(-1)
 	}
 	n.blocked[class][node] = q
 }

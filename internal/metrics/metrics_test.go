@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(7)
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || h.Count() != 0 {
+		t.Error("nil instruments recorded something")
+	}
+	if !r.Snapshot().Empty() {
+		t.Error("nil registry snapshot not empty")
+	}
+	if r.Names() != nil {
+		t.Error("nil registry has names")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("msgs")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Errorf("counter = %d, want 10", c.Value())
+	}
+	if r.Counter("msgs") != c {
+		t.Error("Counter not idempotent")
+	}
+	g := r.Gauge("level")
+	g.Set(5)
+	g.Add(-3)
+	if g.Value() != 2 || g.Max() != 5 {
+		t.Errorf("gauge = %d/%d, want 2/5", g.Value(), g.Max())
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on kind clash")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Gauge("x")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// Bucket boundaries: 0 -> bucket 0; 1 -> [1,1]; 2,3 -> [2,3]; 4..7 -> [4,7].
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 8} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 || h.Sum() != 25 {
+		t.Errorf("count/sum = %d/%d, want 7/25", h.Count(), h.Sum())
+	}
+	hv := r.Snapshot().Histograms["lat"]
+	want := []Bucket{{0, 1}, {1, 1}, {3, 2}, {7, 2}, {15, 1}}
+	if !reflect.DeepEqual(hv.Buckets, want) {
+		t.Errorf("buckets = %v, want %v", hv.Buckets, want)
+	}
+	if hv.Min != 0 || hv.Max != 8 {
+		t.Errorf("min/max = %d/%d", hv.Min, hv.Max)
+	}
+	if m := hv.Mean(); m != 25.0/7.0 {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestBucketBound(t *testing.T) {
+	cases := map[int]uint64{0: 0, 1: 1, 2: 3, 3: 7, 10: 1023, 64: math.MaxUint64}
+	for i, want := range cases {
+		if got := BucketBound(i); got != want {
+			t.Errorf("BucketBound(%d) = %d, want %d", i, got, want)
+		}
+	}
+	for v := uint64(1); v < 1<<20; v = v*3 + 1 {
+		i := bucketOf(v)
+		if v > BucketBound(i) || (i > 0 && v <= BucketBound(i-1)) {
+			t.Fatalf("value %d misfiled in bucket %d (le=%d)", v, i, BucketBound(i))
+		}
+	}
+}
+
+func TestMergeIsOrderIndependent(t *testing.T) {
+	mk := func(c uint64, gcur, gmax int64, samples ...uint64) Snapshot {
+		r := NewRegistry()
+		r.Counter("c").Add(c)
+		g := r.Gauge("g")
+		g.Set(gmax)
+		g.Set(gcur)
+		h := r.Histogram("h")
+		for _, s := range samples {
+			h.Observe(s)
+		}
+		return r.Snapshot()
+	}
+	a := mk(3, 1, 5, 10, 2000)
+	b := mk(4, 2, 9, 1, 1)
+	ab := Merge(a, b)
+	ba := Merge(b, a)
+	if !reflect.DeepEqual(ab, ba) {
+		t.Errorf("merge not commutative:\n%+v\n%+v", ab, ba)
+	}
+	if ab.Counters["c"] != 7 {
+		t.Errorf("merged counter = %d", ab.Counters["c"])
+	}
+	if g := ab.Gauges["g"]; g.Cur != 3 || g.Max != 9 {
+		t.Errorf("merged gauge = %+v, want cur 3 max 9", g)
+	}
+	h := ab.Histograms["h"]
+	if h.Count != 4 || h.Min != 1 || h.Max != 2000 {
+		t.Errorf("merged hist = %+v", h)
+	}
+	// Merging must not alias its parts.
+	one := Merge(a)
+	one.Histograms["h"].Buckets[0] = Bucket{Le: 99, Count: 99}
+	if reflect.DeepEqual(a.Histograms["h"].Buckets[0], Bucket{Le: 99, Count: 99}) {
+		t.Error("merge aliased source buckets")
+	}
+}
+
+func TestSnapshotJSONAndCSV(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("deliver.fast").Add(12)
+	r.Gauge("frames.in_use").Set(4)
+	r.Histogram("latency").Observe(100)
+	s := r.Snapshot()
+
+	var round Snapshot
+	if err := json.Unmarshal(s.JSON(), &round); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if !reflect.DeepEqual(round, s) {
+		t.Errorf("round-trip changed snapshot:\n%+v\n%+v", round, s)
+	}
+
+	csv := s.CSV()
+	for _, want := range []string{
+		"metric,kind,field,value",
+		"deliver.fast,counter,count,12",
+		"frames.in_use,gauge,max,4",
+		"latency,histogram,count,1",
+		"latency,histogram,le_127,1",
+	} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("CSV missing %q:\n%s", want, csv)
+		}
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("z")
+	r.Counter("a")
+	r.Gauge("m")
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"a", "m", "z"}) {
+		t.Errorf("Names = %v", got)
+	}
+}

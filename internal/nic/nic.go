@@ -5,6 +5,7 @@ import (
 
 	"fugu/internal/cpu"
 	"fugu/internal/mesh"
+	"fugu/internal/metrics"
 	"fugu/internal/sim"
 )
 
@@ -113,6 +114,27 @@ type NI struct {
 	launched  uint64
 	disposed  uint64
 	kdisposed uint64
+
+	// Metrics instruments, nil (no-op) unless UseMetrics is called.
+	mArrived   *metrics.Counter
+	mRefused   *metrics.Counter
+	mLaunched  *metrics.Counter
+	mDisposed  *metrics.Counter
+	mKDisposed *metrics.Counter
+	mQueueLen  *metrics.Gauge
+}
+
+// UseMetrics binds the NI's instruments into a registry: lifetime counters
+// mirroring Stats ("nic.arrived", ".refused", ".launched", ".disposed",
+// ".kdisposed") and a "nic.queue_len" gauge whose Max is the deepest the
+// input queue ever got.
+func (ni *NI) UseMetrics(r *metrics.Registry) {
+	ni.mArrived = r.Counter("nic.arrived")
+	ni.mRefused = r.Counter("nic.refused")
+	ni.mLaunched = r.Counter("nic.launched")
+	ni.mDisposed = r.Counter("nic.disposed")
+	ni.mKDisposed = r.Counter("nic.kdisposed")
+	ni.mQueueLen = r.Gauge("nic.queue_len")
 }
 
 // New creates an NI for node and registers it as the node's endpoint on the
@@ -146,10 +168,13 @@ func (ni *NI) AttachCPU(c *cpu.CPU) { c.AddRunListener(&ni.timer) }
 func (ni *NI) Arrive(pkt *mesh.Packet) bool {
 	if len(ni.in) >= ni.cfg.InputQueueDepth {
 		ni.refused++
+		ni.mRefused.Inc()
 		return false
 	}
 	ni.arrived++
+	ni.mArrived.Inc()
 	ni.in = append(ni.in, pkt)
+	ni.mQueueLen.Set(int64(len(ni.in)))
 	if len(ni.in) == 1 {
 		ni.headSignaled = false
 	}
@@ -216,6 +241,7 @@ func (ni *NI) Dispose() Trap {
 		return TrapBadDispose
 	}
 	ni.disposed++
+	ni.mDisposed.Inc()
 	ni.popHead()
 	ni.uac &^= UACDisposePending
 	ni.timer.preset()
@@ -230,6 +256,7 @@ func (ni *NI) KDispose() {
 		panic("nic: KDispose with empty queue")
 	}
 	ni.kdisposed++
+	ni.mKDisposed.Inc()
 	ni.popHead()
 	ni.evaluate()
 }
@@ -238,6 +265,7 @@ func (ni *NI) popHead() {
 	copy(ni.in, ni.in[1:])
 	ni.in[len(ni.in)-1] = nil
 	ni.in = ni.in[:len(ni.in)-1]
+	ni.mQueueLen.Set(int64(len(ni.in)))
 	ni.headSignaled = false
 	ni.net.NotifySpace(ni.node, mesh.Main)
 }
@@ -330,6 +358,7 @@ func (ni *NI) Launch(kernelPriv bool) Trap {
 	words[0] = h
 	ni.out = ni.out[:0]
 	ni.launched++
+	ni.mLaunched.Inc()
 
 	// The output buffer drains at link rate; until then space-available
 	// reads zero and blocking stores stall.

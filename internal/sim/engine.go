@@ -3,6 +3,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"fugu/internal/metrics"
 )
 
 // Engine is a deterministic discrete-event simulator. It is not safe for
@@ -21,6 +23,15 @@ type Engine struct {
 	Limit uint64
 
 	rng *Rand
+
+	events *metrics.Counter // dispatched events ("sim.events"), nil-safe
+}
+
+// UseMetrics binds the engine's instruments into a registry. The engine
+// counts every dispatched event under "sim.events" — a cheap proxy for how
+// much simulated activity a run generated.
+func (e *Engine) UseMetrics(r *metrics.Registry) {
+	e.events = r.Counter("sim.events")
 }
 
 // NewEngine returns an engine with the given RNG seed. A zero seed is
@@ -96,6 +107,7 @@ func (e *Engine) Run() uint64 {
 			panic("sim: event queue went backwards")
 		}
 		e.now = ev.at
+		e.events.Inc()
 		ev.fn()
 	}
 	return e.now

@@ -3,7 +3,10 @@
 // counts, buffering page high-water marks, and simple aggregates.
 package stats
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Delivery tallies how messages reached an application: directly from the
 // network interface (the fast case) or via the software buffer (the slow
@@ -50,19 +53,37 @@ func (h *HighWater) Set(v int) {
 	}
 }
 
-// Add adjusts the current level by delta.
-func (h *HighWater) Add(delta int) { h.Set(h.Cur + delta) }
+// Add adjusts the current level by delta, clamping at zero — an over-release
+// (more frees than allocations reached this counter) must not drive the
+// level negative and poison every later reading. It returns the clamped
+// level so callers can detect the underflow.
+func (h *HighWater) Add(delta int) int {
+	v := h.Cur + delta
+	if v < 0 {
+		v = 0
+	}
+	h.Set(v)
+	return v
+}
 
-// Mean is a streaming average.
+// Mean is a streaming average with spread, accumulated via Welford's online
+// algorithm so a single pass yields mean and variance without catastrophic
+// cancellation.
 type Mean struct {
 	Sum   float64
 	Count uint64
+
+	mean float64 // running mean (Welford)
+	m2   float64 // sum of squared deviations from the running mean
 }
 
 // Observe adds a sample.
 func (m *Mean) Observe(v float64) {
 	m.Sum += v
 	m.Count++
+	d := v - m.mean
+	m.mean += d / float64(m.Count)
+	m.m2 += d * (v - m.mean)
 }
 
 // Value returns the mean, or 0 with no samples.
@@ -72,3 +93,14 @@ func (m *Mean) Value() float64 {
 	}
 	return m.Sum / float64(m.Count)
 }
+
+// Variance returns the population variance, 0 with fewer than two samples.
+func (m *Mean) Variance() float64 {
+	if m.Count < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.Count)
+}
+
+// StdDev returns the population standard deviation.
+func (m *Mean) StdDev() float64 { return math.Sqrt(m.Variance()) }

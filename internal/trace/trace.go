@@ -2,7 +2,7 @@
 // timestamped events with per-category enables. The kernel records
 // delivery-mode transitions, revocations, context switches and overflow
 // events through it, so a surprising run can be replayed and inspected
-// (`fugusim` does not expose it; tests and debugging sessions do).
+// (`fugusim trace` exports it as a Chrome trace_event timeline or JSONL).
 package trace
 
 import (

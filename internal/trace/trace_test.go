@@ -63,6 +63,61 @@ func TestDumpMentionsDropped(t *testing.T) {
 	}
 }
 
+func TestExactCapacityKeepsAllInOrder(t *testing.T) {
+	// Filling the ring to exactly its capacity must retain every event in
+	// chronological order with nothing counted as dropped.
+	const n = 4
+	l := New(n)
+	l.EnableAll()
+	for i := 0; i < n; i++ {
+		l.Add(uint64(i), 0, Mode, "e%d", i)
+	}
+	evs := l.Events()
+	if len(evs) != n {
+		t.Fatalf("retained %d, want %d", len(evs), n)
+	}
+	for i, e := range evs {
+		if e.At != uint64(i) {
+			t.Errorf("evs[%d].At = %d, want %d", i, e.At, i)
+		}
+	}
+	if l.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", l.Dropped())
+	}
+	if strings.Contains(l.Dump(), "dropped") {
+		t.Errorf("Dump claims drops at exact capacity:\n%s", l.Dump())
+	}
+}
+
+func TestOneOverCapacityDropsExactlyOldest(t *testing.T) {
+	// One event past capacity must drop exactly the oldest event and
+	// account for exactly one drop in Dump.
+	const n = 4
+	l := New(n)
+	l.EnableAll()
+	for i := 0; i <= n; i++ {
+		l.Add(uint64(i), 0, Sched, "e%d", i)
+	}
+	evs := l.Events()
+	if len(evs) != n {
+		t.Fatalf("retained %d, want %d", len(evs), n)
+	}
+	if evs[0].What != "e1" || evs[n-1].What != "e4" {
+		t.Errorf("window = [%s .. %s], want [e1 .. e4]", evs[0].What, evs[n-1].What)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At <= evs[i-1].At {
+			t.Errorf("out of order at %d: %v", i, evs)
+		}
+	}
+	if l.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", l.Dropped())
+	}
+	if !strings.Contains(l.Dump(), "(1 earlier events dropped)") {
+		t.Errorf("dump = %q", l.Dump())
+	}
+}
+
 func TestChronologicalOrderBeforeWrap(t *testing.T) {
 	l := New(10)
 	l.EnableAll()

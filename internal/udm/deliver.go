@@ -29,10 +29,12 @@ func (ep *EP) upcall(t *cpu.Task) {
 // extract reads the head message through the transparent-access
 // indirection, charging perWordCost per argument word, and disposes it.
 // By the time it returns, the message is out of the queue and the handler
-// may run and inject freely.
+// may run and inject freely. The injection-to-disposal span lands in the
+// per-path end-to-end latency histogram.
 func (ep *EP) extract(t *cpu.Task, perWordCost uint64) *Msg {
 	p := ep.p
 	fast := !p.Buffered()
+	sentAt, haveSent := p.HeadSentAt()
 	n := p.MsgLen()
 	if n < 2 {
 		panic(fmt.Sprintf("udm: malformed message of %d words", n))
@@ -45,6 +47,9 @@ func (ep *EP) extract(t *cpu.Task, perWordCost uint64) *Msg {
 		t.Spend(c)
 	}
 	p.Kernel().UserDispose(t, p)
+	if haveSent {
+		p.ObserveLatency(fast, t.Now()-sentAt)
+	}
 	return m
 }
 
@@ -55,6 +60,7 @@ func (ep *EP) run(t *cpu.Task, m *Msg) {
 		panic(fmt.Sprintf("udm: node %d: no handler registered for id %d", ep.Node(), m.Handler))
 	}
 	ep.Delivered++
+	ep.mDelivered.Inc()
 	h(&Env{T: t, EP: ep, inHandler: true}, m)
 }
 
@@ -76,7 +82,7 @@ func (ep *EP) deliverInterrupt(t *cpu.Task) {
 	if m.Fast {
 		// Buffered messages were already tallied at kernel insert time;
 		// counting here too would double-book a mid-read mode flip.
-		p.Deliv.Fast++
+		p.CountDelivery(true)
 	}
 	ep.run(t, m)
 	p.Kernel().UserEndAtom(t, p, nic.UACInterruptDisable)
@@ -99,7 +105,7 @@ func (ep *EP) deliverPolled(t *cpu.Task) {
 		t.Spend(ep.cost.BufferedNullHandler)
 	}
 	if m.Fast {
-		p.Deliv.Fast++
+		p.CountDelivery(true)
 	}
 	ep.run(t, m)
 }
@@ -118,6 +124,7 @@ func (ep *EP) deliverBuffered(t *cpu.Task) {
 // extraction and handler body together, the quantity Table 6 calls T_hand.
 func (ep *EP) observeDelivery(t *cpu.Task, before uint64) {
 	ep.HandlerCycles.Observe(float64(t.Consumed() - before))
+	ep.mHandler.Observe(t.Consumed() - before)
 }
 
 // Poll checks for and delivers at most one message in the caller's context:

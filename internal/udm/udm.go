@@ -14,6 +14,7 @@ import (
 
 	"fugu/internal/cpu"
 	"fugu/internal/glaze"
+	"fugu/internal/metrics"
 	"fugu/internal/nic"
 	"fugu/internal/stats"
 )
@@ -67,6 +68,11 @@ type EP struct {
 	Sent          uint64
 	Delivered     uint64     // messages run through handlers on this node
 	HandlerCycles stats.Mean // cycles per delivery, handler body included
+
+	// Metrics instruments, bound to the process's node registry.
+	mSent      *metrics.Counter
+	mDelivered *metrics.Counter
+	mHandler   *metrics.Histogram
 }
 
 // Attach builds the endpoint for a process and installs its upcall (the
@@ -77,6 +83,10 @@ func Attach(p *glaze.Process) *EP {
 		cost:     p.Kernel().Cost(),
 		handlers: make(map[uint64]Handler),
 	}
+	r := p.Metrics()
+	ep.mSent = r.Counter("udm.sent")
+	ep.mDelivered = r.Counter("udm.delivered")
+	ep.mHandler = r.Histogram("udm.handler_cycles")
 	p.Upcall = ep.upcall
 	ep.registerBulk()
 	return ep
@@ -156,6 +166,7 @@ func (ep *EP) injectReady(t *cpu.Task, dst int, handler uint64, args []uint64) {
 		panic(fmt.Sprintf("udm: launch trapped %v", trap))
 	}
 	ep.Sent++
+	ep.mSent.Inc()
 }
 
 // ---------------------------------------------------------------------------
