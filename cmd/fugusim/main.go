@@ -7,6 +7,7 @@
 //	fugusim list
 //	fugusim run [flags] <experiment>... | all
 //	fugusim trace [flags] <experiment>
+//	fugusim doctor [flags] <experiment>
 //
 // Experiments are discovered from the harness registry (`fugusim list`
 // prints them). Sweep points and trials fan out across -j workers; results
@@ -19,7 +20,10 @@
 // (every point machine's counters, gauges and histograms) as
 // <experiment>.metrics.json and .csv. `trace` runs one sweep point serially
 // with an event log installed and exports it as Chrome trace_event JSON
-// (chrome://tracing, Perfetto) or JSON Lines.
+// (chrome://tracing, Perfetto) or JSON Lines. `doctor` replays one sweep
+// point under the message-lifecycle span recorder and the liveness
+// watchdog, then checks delivery invariants; a wedged run terminates with
+// a diagnostic report (exit status 3) instead of hanging.
 //
 // Quick mode (default) scales workloads down so the whole suite runs in
 // minutes; -full uses the paper's sizes. This command is the only place
@@ -33,11 +37,14 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"fugu/internal/glaze"
 	"fugu/internal/harness"
 	"fugu/internal/metrics"
+	"fugu/internal/spans"
 	"fugu/internal/trace"
 )
 
@@ -55,6 +62,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  fugusim list\n")
 		fmt.Fprintf(os.Stderr, "  fugusim run [flags] <experiment>... | all\n")
 		fmt.Fprintf(os.Stderr, "  fugusim trace [flags] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "  fugusim doctor [flags] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", harness.Names())
 		flag.PrintDefaults()
 	}
@@ -71,6 +79,9 @@ func main() {
 		return
 	case "trace":
 		traceCmd(flag.Args()[1:])
+		return
+	case "doctor":
+		doctorCmd(flag.Args()[1:])
 		return
 	case "run":
 		// Flags may also follow the subcommand and the experiment names:
@@ -164,7 +175,7 @@ func writeMetrics(dir, name string) func(metrics.Snapshot) {
 // serially with an event log installed, then export the timeline.
 func traceCmd(args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
-	cats := fs.String("cats", "", "comma-separated categories to record (default all): mode,sched,overflow,message")
+	cats := fs.String("cats", "", "comma-separated categories to record (default all): mode,sched,overflow,message,span")
 	out := fs.String("o", "-", "output path (- writes to stdout)")
 	jsonl := fs.Bool("jsonl", false, "emit JSON Lines instead of Chrome trace_event JSON")
 	point := fs.Int("point", 0, "sweep point index to trace (see -list)")
@@ -180,11 +191,6 @@ func traceCmd(args []string) {
 	names := parseInterleaved(fs, args)
 	if len(names) != 1 {
 		fs.Usage()
-		os.Exit(2)
-	}
-	exp, ok := harness.Lookup(names[0])
-	if !ok {
-		fmt.Fprintf(os.Stderr, "fugusim: unknown experiment %q (try `fugusim list`)\n", names[0])
 		os.Exit(2)
 	}
 
@@ -206,22 +212,19 @@ func traceCmd(args []string) {
 		opts = append(opts, harness.WithQuick())
 	}
 	opt := harness.NewOptions(opts...)
-	pts := exp.Points(opt)
-	if *listPts {
-		for i, pt := range pts {
-			fmt.Printf("%3d  %s\n", i, pt.Label)
-		}
-		return
-	}
-	if *point < 0 || *point >= len(pts) {
-		fmt.Fprintf(os.Stderr, "fugusim: point %d out of range (%s has %d points; see -list)\n",
-			*point, exp.Name, len(pts))
+	exp, pts, sel, err := resolvePoint(names[0], pointIndex(*point, *listPts), opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
 		os.Exit(2)
+	}
+	if *listPts {
+		listPoints(os.Stdout, pts)
+		return
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	pt := pts[*point]
+	pt := *sel
 	fmt.Fprintf(os.Stderr, "tracing %s point %d (%s)\n", exp.Name, *point, pt.Label)
 	if _, err := pt.Run(ctx, opt); err != nil {
 		fmt.Fprintf(os.Stderr, "fugusim: %s (%s): %v\n", exp.Name, pt.Label, err)
@@ -249,6 +252,152 @@ func traceCmd(args []string) {
 	}
 	fmt.Fprintf(os.Stderr, "%d events recorded (%d retained, %d dropped)\n",
 		log.Total(), log.Total()-log.Dropped(), log.Dropped())
+}
+
+// pointIndex turns a -list invocation into the sentinel index resolvePoint
+// treats as "enumerate only".
+func pointIndex(point int, listOnly bool) int {
+	if listOnly {
+		return -1
+	}
+	return point
+}
+
+// resolvePoint resolves the (experiment, sweep point) target shared by
+// `fugusim trace` and `fugusim doctor`: look the experiment up, enumerate
+// its sweep for the given options, and select the point by index. A
+// negative index skips selection (the -list path wants the enumeration
+// only) and returns a nil point.
+func resolvePoint(name string, index int, opt harness.Options) (*harness.Experiment, []harness.Point, *harness.Point, error) {
+	exp, ok := harness.Lookup(name)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("unknown experiment %q (try `fugusim list`)", name)
+	}
+	pts := exp.Points(opt)
+	if index < 0 {
+		return exp, pts, nil, nil
+	}
+	if index >= len(pts) {
+		return exp, pts, nil, fmt.Errorf("point %d out of range (%s has %d points; see -list)",
+			index, name, len(pts))
+	}
+	return exp, pts, &pts[index], nil
+}
+
+// listPoints prints a sweep enumeration, one indexed point per line.
+func listPoints(w io.Writer, pts []harness.Point) {
+	for i, pt := range pts {
+		fmt.Fprintf(w, "%3d  %s\n", i, pt.Label)
+	}
+}
+
+// doctorCmd implements `fugusim doctor`: replay one sweep point serially
+// with the span recorder and liveness watchdog installed, then check the
+// delivery invariants (every injected message reached exactly one terminal
+// state, and span counts reconcile with the delivery counters). A watchdog
+// firing prints the diagnostic report — per-node run-queue and buffer
+// state, in-flight spans, the waits-for graph — and exits with status 3.
+func doctorCmd(args []string) {
+	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
+	point := fs.Int("point", 0, "sweep point index to replay (see -list)")
+	listPts := fs.Bool("list", false, "list the experiment's sweep points and exit")
+	seed := fs.Uint64("seed", 1, "base random seed (0x-prefixed hex accepted)")
+	full := fs.Bool("full", false, "run the paper-scale workload (slow)")
+	// The stall threshold (interval*grace) must exceed the longest healthy
+	// quiet phase; the gang quantum is 500k cycles, and a descheduled job
+	// legitimately makes no delivery progress for a whole quantum, so the
+	// default threshold is two quanta.
+	interval := fs.Uint64("interval", 200_000, "watchdog check interval in cycles")
+	grace := fs.Int("grace", 5, "consecutive stale watchdog checks before firing (stall threshold = interval*grace)")
+	out := fs.String("o", "-", "also write the report/diagnosis to this path (- means stdout only)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fugusim doctor [flags] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", harness.Names())
+		fs.PrintDefaults()
+	}
+	names := parseInterleaved(fs, args)
+	if len(names) != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	rec := spans.NewRecorder(nil)
+	opts := []harness.Option{
+		harness.WithSeed(*seed), harness.WithTrials(1),
+		harness.WithParallelism(1), harness.WithSpans(rec),
+		harness.WithWatchdog(glaze.WatchdogConfig{Interval: *interval, Grace: *grace}),
+	}
+	if *full {
+		opts = append(opts, harness.WithFull())
+	} else {
+		opts = append(opts, harness.WithQuick())
+	}
+	opt := harness.NewOptions(opts...)
+	exp, pts, sel, err := resolvePoint(names[0], pointIndex(*point, *listPts), opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
+		os.Exit(2)
+	}
+	if *listPts {
+		listPoints(os.Stdout, pts)
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	pt := *sel
+	fmt.Fprintf(os.Stderr, "doctor: replaying %s point %d (%s) seed=%#x\n",
+		exp.Name, *point, pt.Label, opt.Seed)
+	res, err := pt.Run(ctx, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: %s (%s): %v\n", exp.Name, pt.Label, err)
+		os.Exit(1)
+	}
+
+	emit := func(text string) {
+		fmt.Print(text)
+		if *out != "-" {
+			if dir := filepath.Dir(*out); dir != "." {
+				if werr := os.MkdirAll(dir, 0o755); werr != nil {
+					fmt.Fprintf(os.Stderr, "fugusim: %v\n", werr)
+					os.Exit(1)
+				}
+			}
+			if werr := os.WriteFile(*out, []byte(text), 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "fugusim: %v\n", werr)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if rep := rec.Report(); rep != nil {
+		emit(rep.String())
+		fmt.Fprintf(os.Stderr, "doctor: watchdog fired — see report above\n")
+		os.Exit(3)
+	}
+
+	var problems []string
+	if mc, ok := res.(harness.MetricsCarrier); ok {
+		snap := mc.MetricsSnapshot()
+		problems = rec.Check(snap.Counters["glaze.deliver.fast"], snap.Counters["glaze.deliver.buffered"])
+	} else {
+		// No snapshot to reconcile against: still require terminal states.
+		fmt.Fprintf(os.Stderr, "doctor: point result carries no metrics snapshot; span/metrics reconciliation skipped\n")
+		problems = rec.Check(rec.Counts().Fast, rec.Counts().Inserts)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "doctor: %s point %d (%s) seed=%#x\n", exp.Name, *point, pt.Label, opt.Seed)
+	fmt.Fprintf(&b, "%s\n", rec.Summary())
+	if len(problems) == 0 {
+		fmt.Fprintf(&b, "doctor: OK — all spans terminal, counts reconcile with delivery counters\n")
+		emit(b.String())
+		return
+	}
+	for _, p := range problems {
+		fmt.Fprintf(&b, "PROBLEM: %s\n", p)
+	}
+	emit(b.String())
+	os.Exit(1)
 }
 
 // parseInterleaved parses flags that may appear before, between or after

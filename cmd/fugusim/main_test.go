@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"fugu/internal/harness"
+)
+
+// TestResolvePoint covers the experiment/point resolution shared by the
+// trace and doctor subcommands.
+func TestResolvePoint(t *testing.T) {
+	opt := harness.NewOptions(harness.WithQuick(), harness.WithTrials(1))
+
+	if _, _, _, err := resolvePoint("nonesuch", 0, opt); err == nil ||
+		!strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("unknown name: err = %v", err)
+	}
+
+	exp, pts, sel, err := resolvePoint("table4", 1, opt)
+	if err != nil {
+		t.Fatalf("table4 point 1: %v", err)
+	}
+	if exp.Name != "table4" || len(pts) != 3 {
+		t.Fatalf("exp=%q with %d points, want table4 with 3", exp.Name, len(pts))
+	}
+	if sel == nil || sel.Label != pts[1].Label {
+		t.Fatalf("selected %+v, want point 1 (%q)", sel, pts[1].Label)
+	}
+
+	if _, _, _, err := resolvePoint("table4", 99, opt); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range index: err = %v", err)
+	}
+
+	// A negative index is the -list path: enumeration only, no selection.
+	_, pts, sel, err = resolvePoint("crlstress", pointIndex(5, true), opt)
+	if err != nil || sel != nil || len(pts) == 0 {
+		t.Fatalf("list path: pts=%d sel=%v err=%v", len(pts), sel, err)
+	}
+}

@@ -281,6 +281,29 @@ func (t *Task) Resume() {
 	}
 }
 
+// StateName renders the task's scheduler state for diagnostics.
+func (t *Task) StateName() string {
+	var s string
+	switch t.state {
+	case taskReady:
+		s = "ready"
+	case taskRunning:
+		s = "running"
+	case taskBlocked:
+		s = "blocked"
+	case taskDone:
+		s = "done"
+	case taskSuspended:
+		s = "suspended"
+	default:
+		s = fmt.Sprintf("state(%d)", int(t.state))
+	}
+	if t.suspended && t.state != taskSuspended && t.state != taskDone {
+		s += "+gated"
+	}
+	return s
+}
+
 // Suspended reports whether the scheduler gate is closed for this task.
 func (t *Task) Suspended() bool { return t.suspended }
 

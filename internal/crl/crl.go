@@ -122,6 +122,7 @@ func New(ep *udm.EP, nodes int) *Node {
 	n.mHits = r.Counter("crl.hits")
 	n.mMisses = r.Counter("crl.misses")
 	n.registerHandlers()
+	ep.Process().Kernel().Machine().RegisterDiag(n)
 	return n
 }
 
@@ -246,19 +247,30 @@ func (n *Node) finishDeferred(t *cpu.Task, r *Region) {
 		n.sendData(e, r.home, hFlushData, r.id, r.data)
 	}
 	if d := n.dir[r.id]; d != nil && d.homeWait && !r.writing && (d.cur.op == opRead || r.readers == 0) {
-		d.homeWait = false
-		d.busy = false
 		// The resumed transaction mutates the directory and sends its
 		// grant from the application thread. Message handlers must not
 		// interleave, or a later transaction's flush request could be
 		// launched before this grant's data and overtake it on the wire;
 		// an atomic section keeps the update-and-send indivisible, exactly
 		// as handler-context transactions are.
+		//
+		// Atomicity must be entered BEFORE the entry is touched:
+		// BeginAtomic charges cycles — a preemption point — and a request
+		// arriving in that window used to see busy=false, start its own
+		// transaction and overwrite d.cur, silently dropping the deferred
+		// request (the lost-request deadlock dissected in
+		// docs/crl-deadlock-0x9459729f43aff4c8.md). Re-validate the
+		// deferral and snapshot the request once atomic.
 		wasAtomic := e.Atomic()
 		if !wasAtomic {
 			e.BeginAtomic()
 		}
-		n.startTxn(e, d, r.id, d.cur)
+		if d.homeWait && !r.writing && (d.cur.op == opRead || r.readers == 0) {
+			req := d.cur
+			d.homeWait = false
+			d.busy = false
+			n.startTxn(e, d, r.id, req)
+		}
 		if !wasAtomic {
 			e.EndAtomic()
 		}

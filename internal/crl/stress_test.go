@@ -87,9 +87,11 @@ func TestCoherenceStressProperty(t *testing.T) {
 		return total == uint64(4*ops)
 	}
 	// A fixed source keeps the explored schedules (and so CI) deterministic.
-	// Unpinned time-seeded exploration has found rare inputs that deadlock
-	// the protocol (e.g. machine seed 0x9459729f43aff4c8 with 27 ops/node);
-	// ROADMAP tracks chasing those down.
+	// Unpinned time-seeded exploration found rare inputs that deadlocked
+	// the protocol (machine seed 0x9459729f43aff4c8 at ops >= 41/node, a
+	// request lost in finishDeferred's preemption window — dissected in
+	// docs/crl-deadlock-0x9459729f43aff4c8.md, pinned by
+	// TestDeadlockSeedRegression).
 	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(1))}
 	if err := quick.Check(prop, cfg); err != nil {
 		t.Error(err)

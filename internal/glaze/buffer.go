@@ -42,9 +42,11 @@ func newSWBuffer(frames *vm.Frames) *swBuffer {
 	}
 }
 
-// msgMeta carries a buffered message's timestamps: when the sender injected
-// it and when the insert handler copied it into the buffer.
+// msgMeta carries a buffered message's identity and timestamps: the mesh
+// packet ID (for lifecycle spans), when the sender injected it and when
+// the insert handler copied it into the buffer.
 type msgMeta struct {
+	id         uint64
 	sentAt     uint64
 	insertedAt uint64
 }
@@ -55,11 +57,11 @@ type pushResult struct {
 	pagedOut int // pages evicted to backing store to make room
 }
 
-// push appends a message stamped with its injection time (sentAt) and the
-// current time. It never fails: when the frame pool is exhausted it evicts
-// the oldest fully-written buffer pages ahead of the tail to backing store
-// (the guaranteed-delivery path of Section 4.2).
-func (b *swBuffer) push(words []uint64, sentAt, now uint64) pushResult {
+// push appends a message stamped with its packet ID, its injection time
+// (sentAt) and the current time. It never fails: when the frame pool is
+// exhausted it evicts the oldest fully-written buffer pages ahead of the
+// tail to backing store (the guaranteed-delivery path of Section 4.2).
+func (b *swBuffer) push(id uint64, words []uint64, sentAt, now uint64) pushResult {
 	var res pushResult
 	need := uint64(len(words)) + 1
 	// Ensure residency for every page the record touches.
@@ -74,7 +76,7 @@ func (b *swBuffer) push(words []uint64, sentAt, now uint64) pushResult {
 	b.tail += need
 	b.count++
 	b.inserted++
-	b.meta = append(b.meta, msgMeta{sentAt: sentAt, insertedAt: now})
+	b.meta = append(b.meta, msgMeta{id: id, sentAt: sentAt, insertedAt: now})
 	if res.newPages > 0 {
 		b.vmallocs++
 	}
@@ -174,6 +176,27 @@ func (b *swBuffer) touch(addr uint64) int {
 	}
 	res := b.pageIn(vp, pushResult{})
 	return 1 + res.pagedOut // paging in may itself have evicted
+}
+
+// headID returns the packet ID of the head message, false if empty.
+func (b *swBuffer) headID() (uint64, bool) {
+	if len(b.meta) == 0 {
+		return 0, false
+	}
+	return b.meta[0].id, true
+}
+
+// pendingIDs lists the packet IDs of the unconsumed buffered messages, in
+// insertion order (diagnostics).
+func (b *swBuffer) pendingIDs() []uint64 {
+	if len(b.meta) == 0 {
+		return nil
+	}
+	ids := make([]uint64, len(b.meta))
+	for i, m := range b.meta {
+		ids[i] = m.id
+	}
+	return ids
 }
 
 // headSentAt returns the injection time of the head message, false if empty.

@@ -9,8 +9,8 @@ import (
 
 func TestBufferPushPop(t *testing.T) {
 	b := newSWBuffer(vm.NewFrames(16))
-	b.push([]uint64{1, 2, 3}, 0, 0)
-	b.push([]uint64{4, 5}, 0, 0)
+	b.push(0, []uint64{1, 2, 3}, 0, 0)
+	b.push(0, []uint64{4, 5}, 0, 0)
 	if b.count != 2 {
 		t.Fatalf("count = %d, want 2", b.count)
 	}
@@ -36,11 +36,11 @@ func TestBufferPushPop(t *testing.T) {
 func TestBufferFirstPushAllocates(t *testing.T) {
 	f := vm.NewFrames(16)
 	b := newSWBuffer(f)
-	res := b.push([]uint64{1}, 0, 0)
+	res := b.push(0, []uint64{1}, 0, 0)
 	if res.newPages != 1 {
 		t.Errorf("newPages = %d, want 1 (vmalloc path)", res.newPages)
 	}
-	res = b.push([]uint64{2}, 0, 0)
+	res = b.push(0, []uint64{2}, 0, 0)
 	if res.newPages != 0 {
 		t.Errorf("second push newPages = %d, want 0 (existing page)", res.newPages)
 	}
@@ -57,7 +57,7 @@ func TestBufferPageReclamation(t *testing.T) {
 	msg := make([]uint64, 63) // 64 words per record
 	maxResident := 0
 	for i := 0; i < 200; i++ {
-		b.push(msg, 0, 0)
+		b.push(0, msg, 0, 0)
 		if r := b.pagesResident(); r > maxResident {
 			maxResident = r
 		}
@@ -78,7 +78,7 @@ func TestBufferHighWaterTracksBacklog(t *testing.T) {
 	b := newSWBuffer(vm.NewFrames(64))
 	msg := make([]uint64, 255) // 256-word records: 4 per page
 	for i := 0; i < 16; i++ {
-		b.push(msg, 0, 0) // 16 records = 4 pages
+		b.push(0, msg, 0, 0) // 16 records = 4 pages
 	}
 	if hw := b.PagesHighWater(); hw < 4 {
 		t.Errorf("high water = %d, want >= 4", hw)
@@ -100,7 +100,7 @@ func TestBufferPageOutUnderExhaustion(t *testing.T) {
 		for j := range msg {
 			msg[j] = uint64(i*1000 + j)
 		}
-		b.push(msg, 0, 0)
+		b.push(0, msg, 0, 0)
 	}
 	if b.pageOuts == 0 {
 		t.Fatal("no page-outs despite frame exhaustion")
@@ -145,7 +145,7 @@ func TestBufferFIFOProperty(t *testing.T) {
 			words := make([]uint64, n)
 			words[0] = uint64(i) ^ seed
 			words[n-1] = uint64(i) * 7
-			b.push(words, 0, 0)
+			b.push(uint64(i), words, 0, 0)
 			want = append(want, rec{words[0], words[n-1], n})
 			pushed++
 			// Interleave pops.

@@ -1,6 +1,9 @@
 package glaze
 
-import "fugu/internal/trace"
+import (
+	"fugu/internal/spans"
+	"fugu/internal/trace"
+)
 
 // ConfigOption adjusts a Config. Options compose over DefaultConfig via
 // NewConfig or over any explicit base via NewMachine(cfg, opts...), so
@@ -11,6 +14,18 @@ type ConfigOption func(*Config)
 // interest on the log before running.
 func WithTrace(l *trace.Log) ConfigOption {
 	return func(c *Config) { c.Trace = l }
+}
+
+// WithSpans installs a message-lifecycle recorder on the machine: every
+// injected packet is tracked from send to its terminal disposal.
+func WithSpans(rec *spans.Recorder) ConfigOption {
+	return func(c *Config) { c.Spans = rec }
+}
+
+// WithWatchdog enables the liveness watchdog (see WatchdogConfig). A span
+// recorder is installed implicitly if none is configured.
+func WithWatchdog(wc WatchdogConfig) ConfigOption {
+	return func(c *Config) { c.Watchdog = wc }
 }
 
 // WithMesh sets the mesh dimensions (the machine has w*h nodes).

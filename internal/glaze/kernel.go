@@ -7,6 +7,7 @@ import (
 	"fugu/internal/mesh"
 	"fugu/internal/metrics"
 	"fugu/internal/nic"
+	"fugu/internal/spans"
 	"fugu/internal/trace"
 	"fugu/internal/vm"
 )
@@ -166,6 +167,7 @@ func (k *Kernel) mismatchISR(t *cpu.Task) {
 			k.KernelMsgs++
 			k.mKernelMsgs.Inc()
 			t.Spend(k.cost.BufferInsertMin) // treat as a short kernel handler
+			k.m.Spans.End(k.m.Eng.Now(), pkt.ID, k.node, spans.TermKernel)
 			k.ni.KDispose()
 			continue
 		}
@@ -177,6 +179,7 @@ func (k *Kernel) mismatchISR(t *cpu.Task) {
 			k.StrayMessages++
 			k.mStray.Inc()
 			t.Spend(k.cost.BufferInsertMin)
+			k.m.Spans.End(k.m.Eng.Now(), pkt.ID, k.node, spans.TermStray)
 			k.ni.KDispose()
 			continue
 		}
@@ -188,7 +191,14 @@ func (k *Kernel) mismatchISR(t *cpu.Task) {
 // bufferInsert copies one message into p's virtual buffer, charging the
 // Table 5 costs, and performs the overflow-control checks.
 func (k *Kernel) bufferInsert(t *cpu.Task, p *Process, pkt *mesh.Packet) {
-	res := p.buf.push(pkt.Words, pkt.SentAt, k.m.Eng.Now())
+	if k.m.Spans != nil {
+		cause := "gid-mismatch"
+		if k.ni.Divert() {
+			cause = "divert"
+		}
+		k.m.Spans.Insert(k.m.Eng.Now(), pkt.ID, k.node, cause)
+	}
+	res := p.buf.push(pkt.ID, pkt.Words, pkt.SentAt, k.m.Eng.Now())
 	cost := k.cost.BufferInsertMin
 	if res.newPages > 0 {
 		cost = k.cost.BufferInsertVMAlloc
@@ -323,6 +333,7 @@ func (k *Kernel) UserDispose(t *cpu.Task, p *Process) {
 func (k *Kernel) disposeExtend(t *cpu.Task, p *Process) {
 	k.ni.SetUACKernel(nic.UACDisposePending, false)
 	meta := p.buf.pop()
+	k.m.Spans.End(k.m.Eng.Now(), meta.id, k.node, spans.TermBuffered)
 	k.mResidency.Observe(k.m.Eng.Now() - meta.insertedAt)
 	k.mFramesInUse.Set(int64(k.frames.InUse()))
 	p.mBufPages.Set(int64(p.buf.pagesResident()))
@@ -474,6 +485,7 @@ type osEndpoint Kernel
 // Arrive queues an OS-network packet; the kernel's OS ISR services it.
 func (oe *osEndpoint) Arrive(pkt *mesh.Packet) bool {
 	k := (*Kernel)(oe)
+	k.m.Spans.Queued(k.m.Eng.Now(), pkt.ID, k.node)
 	k.osQueue = append(k.osQueue, pkt)
 	k.osIRQ.Raise()
 	return true
@@ -488,6 +500,7 @@ func (k *Kernel) osISR(t *cpu.Task) {
 	copy(k.osQueue, k.osQueue[1:])
 	k.osQueue = k.osQueue[:len(k.osQueue)-1]
 	t.Spend(k.cost.BufferInsertMin) // nominal handler cost
+	k.m.Spans.End(k.m.Eng.Now(), pkt.ID, k.node, spans.TermKernel)
 	op, arg := pkt.Words[1], pkt.Words[2]
 	p := k.procs[nic.GID(arg)]
 	if p == nil {

@@ -8,6 +8,7 @@ import (
 	"fugu/internal/metrics"
 	"fugu/internal/nic"
 	"fugu/internal/sim"
+	"fugu/internal/spans"
 	"fugu/internal/trace"
 	"fugu/internal/vm"
 )
@@ -33,6 +34,16 @@ type Config struct {
 	// Trace, when non-nil, is installed as the machine's event log. Enable
 	// the categories of interest before running.
 	Trace *trace.Log
+
+	// Spans, when non-nil, records every message's lifecycle (injection,
+	// arrival, buffer insertion, terminal disposal) for invariant checks
+	// and liveness diagnostics. Recording charges no simulated cycles.
+	Spans *spans.Recorder
+
+	// Watchdog, when enabled (Interval > 0), periodically checks for
+	// delivery progress and dumps a diagnostic report when the machine
+	// wedges. See WatchdogConfig.
+	Watchdog WatchdogConfig
 }
 
 // DefaultConfig returns the configuration the experiments use: eight nodes
@@ -81,6 +92,13 @@ type Machine struct {
 	// m.Trace.Enable(trace.Mode, trace.Overflow).
 	Trace *trace.Log
 
+	// Spans is the optional message-lifecycle recorder (nil records
+	// nothing); the watchdog installs one implicitly if enabled alone.
+	Spans *spans.Recorder
+
+	watchdog *watchdog
+	diags    []Diagnostic
+
 	// Metrics holds the machine-wide instruments (engine, mesh, gang
 	// scheduler); per-node instruments live on each Node. MetricsSnapshot
 	// merges all of them.
@@ -94,6 +112,10 @@ func NewMachine(cfg Config, opts ...ConfigOption) *Machine {
 		o(&cfg)
 	}
 	eng := sim.NewEngine(cfg.Seed)
+	if cfg.Watchdog.Enabled() && cfg.Spans == nil {
+		// The watchdog's progress fingerprint and report need a recorder.
+		cfg.Spans = spans.NewRecorder(cfg.Trace)
+	}
 	m := &Machine{
 		Eng:            eng,
 		Net:            mesh.New(eng, cfg.W, cfg.H, cfg.Latency),
@@ -102,10 +124,15 @@ func NewMachine(cfg Config, opts ...ConfigOption) *Machine {
 		alwaysBuffered: cfg.AlwaysBuffered,
 		noReclaim:      cfg.NoBufferReclaim,
 		Trace:          cfg.Trace,
+		Spans:          cfg.Spans,
 		Metrics:        metrics.NewRegistry(),
 	}
 	eng.UseMetrics(m.Metrics)
 	m.Net.UseMetrics(m.Metrics)
+	if m.Spans != nil {
+		m.Spans.AttachMachine()
+		m.Net.UseSpans(m.Spans)
+	}
 	n := cfg.W * cfg.H
 	m.Nodes = make([]*Node, n)
 	for i := 0; i < n; i++ {
@@ -118,12 +145,40 @@ func NewMachine(cfg Config, opts ...ConfigOption) *Machine {
 		node.NI = nic.New(eng, m.Net, i, cfg.NIConfig)
 		node.NI.AttachCPU(node.CPU)
 		node.NI.UseMetrics(node.Metrics)
+		if m.Spans != nil {
+			node.NI.UseSpans(m.Spans)
+		}
 		m.Nodes[i] = node
 	}
 	for i := 0; i < n; i++ {
 		m.Nodes[i].Kernel = newKernel(m, i)
 	}
+	if cfg.Watchdog.Enabled() {
+		m.watchdog = newWatchdog(m, cfg.Watchdog)
+	}
 	return m
+}
+
+// Diagnostic lets a higher-level subsystem (e.g. the CRL coherence layer)
+// contribute protocol state and waits-for edges to liveness reports
+// without glaze depending on it.
+type Diagnostic interface {
+	// DiagSections renders the subsystem's state at time at.
+	DiagSections(at uint64) []spans.Section
+	// WaitEdges reports the subsystem's current waits-for edges.
+	WaitEdges() []spans.WaitEdge
+}
+
+// RegisterDiag adds a diagnostic provider consulted by Diagnose.
+func (m *Machine) RegisterDiag(d Diagnostic) { m.diags = append(m.diags, d) }
+
+// WatchdogReport returns the liveness report if the watchdog fired, else
+// nil. The report is also attached to the span recorder.
+func (m *Machine) WatchdogReport() *spans.Report {
+	if m.watchdog == nil {
+		return nil
+	}
+	return m.watchdog.report
 }
 
 // Cost returns the machine's cost model.

@@ -167,6 +167,19 @@ func (p *Process) HeadSentAt() (at uint64, ok bool) {
 	return 0, false
 }
 
+// HeadID returns the packet ID of the message an extract would read —
+// the NI head in direct mode, the buffer head in buffered mode. ok is
+// false with no message pending.
+func (p *Process) HeadID() (id uint64, ok bool) {
+	if p.buffered {
+		return p.buf.headID()
+	}
+	if pkt := p.kern.ni.HeadPacket(); pkt != nil {
+		return pkt.ID, true
+	}
+	return 0, false
+}
+
 // Buffered reports whether the process is in software-buffered mode.
 func (p *Process) Buffered() bool { return p.buffered }
 
@@ -299,6 +312,10 @@ func (p *Process) WaitThrottle(t *cpu.Task) {
 		p.throttleW.Wait(t)
 	}
 }
+
+// Tasks returns the process's tasks (main, upcall, spawned threads) for
+// diagnostics.
+func (p *Process) Tasks() []*cpu.Task { return p.tasks() }
 
 // tasks iterates the process's tasks.
 func (p *Process) tasks() []*cpu.Task {

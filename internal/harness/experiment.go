@@ -70,6 +70,7 @@ func init() {
 	register(fig7and8Experiment())
 	register(fig9Experiment())
 	register(fig10Experiment())
+	register(crlStressExperiment())
 }
 
 // Experiments returns every registered experiment in registration order.

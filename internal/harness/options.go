@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"fugu/internal/glaze"
+	"fugu/internal/spans"
 	"fugu/internal/trace"
 )
 
@@ -25,6 +26,14 @@ type Options struct {
 	// WithParallelism(1) (as `fugusim trace` does) — concurrent points would
 	// interleave their events arbitrarily.
 	Trace *trace.Log
+	// Spans, when non-nil, records message-lifecycle spans on every point
+	// machine. Like Trace it is unsynchronized: pair it with
+	// WithParallelism(1) (as `fugusim doctor` does).
+	Spans *spans.Recorder
+	// Watchdog, when enabled (Interval > 0), installs the liveness watchdog
+	// on every point machine; a stalled run stops with a diagnostic report
+	// instead of spinning forever.
+	Watchdog glaze.WatchdogConfig
 }
 
 // Option configures an experiment run.
@@ -62,6 +71,17 @@ func WithParallelism(n int) Option { return optionFunc(func(o *Options) { o.Para
 // builds. Enable the log's categories first; run serially (see
 // Options.Trace).
 func WithTrace(l *trace.Log) Option { return optionFunc(func(o *Options) { o.Trace = l }) }
+
+// WithSpans installs a message-lifecycle recorder on every point machine;
+// run serially (see Options.Spans).
+func WithSpans(rec *spans.Recorder) Option {
+	return optionFunc(func(o *Options) { o.Spans = rec })
+}
+
+// WithWatchdog installs the liveness watchdog on every point machine.
+func WithWatchdog(wc glaze.WatchdogConfig) Option {
+	return optionFunc(func(o *Options) { o.Watchdog = wc })
+}
 
 // NewOptions resolves a full option set: the paper's defaults (full sizes,
 // 3 trials, seed 1) overlaid with the given options.
@@ -105,16 +125,22 @@ func (o Options) TrialSeed(trial int) uint64 { return o.Seed + uint64(trial) }
 func (o Options) trials() int { return max(1, o.Trials) }
 
 // machineMut composes the option set's machine-level installs (the trace
-// log) with a point's own config mutator. Experiment points pass the result
-// wherever a func(*glaze.Config) is accepted, so options reach every
-// machine without widening run signatures.
+// log, span recorder and watchdog) with a point's own config mutator.
+// Experiment points pass the result wherever a func(*glaze.Config) is
+// accepted, so options reach every machine without widening run signatures.
 func (o Options) machineMut(extra func(*glaze.Config)) func(*glaze.Config) {
-	if o.Trace == nil && extra == nil {
+	if o.Trace == nil && o.Spans == nil && !o.Watchdog.Enabled() && extra == nil {
 		return nil
 	}
 	return func(cfg *glaze.Config) {
 		if o.Trace != nil {
 			cfg.Trace = o.Trace
+		}
+		if o.Spans != nil {
+			cfg.Spans = o.Spans
+		}
+		if o.Watchdog.Enabled() {
+			cfg.Watchdog = o.Watchdog
 		}
 		if extra != nil {
 			extra(cfg)

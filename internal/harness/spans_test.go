@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"fugu/internal/metrics"
+	"fugu/internal/spans"
+)
+
+// runReconciled runs one experiment serially with a span recorder
+// installed and asserts the delivery invariants: every injected message
+// reached exactly one terminal state, buffered messages all drained, and
+// the span tallies reconcile with the metrics delivery counters.
+func runReconciled(t *testing.T, name string, extra ...Option) Result {
+	t.Helper()
+	exp, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("experiment %q not registered", name)
+	}
+	rec := spans.NewRecorder(nil)
+	var snap metrics.Snapshot
+	runner := &Runner{OnMetrics: func(s metrics.Snapshot) { snap = s }}
+	opts := append([]Option{
+		WithQuick(), WithTrials(1), WithParallelism(1), WithSpans(rec),
+	}, extra...)
+	res, err := runner.Run(context.Background(), exp, opts...)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if c := rec.Counts(); c.Begun == 0 {
+		t.Fatalf("%s: no spans recorded", name)
+	}
+	probs := rec.Check(snap.Counters["glaze.deliver.fast"], snap.Counters["glaze.deliver.buffered"])
+	if len(probs) != 0 {
+		t.Fatalf("%s: span invariants violated:\n%s\n%s", name, rec.Summary(), probs)
+	}
+	return res
+}
+
+// TestSpansReconcileTable4 checks the terminal-state and reconciliation
+// properties on the table4 sweep (all three atomicity implementations).
+func TestSpansReconcileTable4(t *testing.T) {
+	runReconciled(t, "table4")
+}
+
+// TestSpansReconcileTable5 covers the second-case pipeline: table5 forces
+// every message through a software buffer, so inserts, drains and the
+// glaze.deliver.buffered counter must all agree.
+func TestSpansReconcileTable5(t *testing.T) {
+	runReconciled(t, "table5")
+}
+
+// TestSpansReconcileCRLStressSeeds sweeps the CRL stress workload over
+// several machine seeds — including the historical deadlock seed — and
+// requires every message to terminate and reconcile at each.
+func TestSpansReconcileCRLStressSeeds(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 7, 0x9459729f43aff4c8} {
+		runReconciled(t, "crlstress", WithSeed(seed))
+	}
+}
+
+// TestSpansDoNotPerturbResults: recording spans charges no simulated
+// cycles and consumes no engine randomness, so an instrumented serial run
+// must produce byte-identical results to an uninstrumented parallel one.
+func TestSpansDoNotPerturbResults(t *testing.T) {
+	base, err := Table4(WithQuick(), WithTrials(1), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented := runReconciled(t, "table4")
+	if !reflect.DeepEqual(base, instrumented) {
+		t.Fatalf("span instrumentation changed table4 results:\nbase: %+v\ninstrumented: %+v",
+			base, instrumented)
+	}
+}

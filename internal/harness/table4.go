@@ -59,8 +59,8 @@ func table4Experiment() *Experiment {
 				im := im
 				pts[i] = Point{
 					Label: "impl=" + im.String(),
-					Run: func(context.Context, Options) (any, error) {
-						return measureNullMessage(im), nil
+					Run: func(_ context.Context, opt Options) (any, error) {
+						return measureNullMessage(im, opt), nil
 					},
 				}
 			}
@@ -112,12 +112,15 @@ func table4Rows() Table4Result {
 // measureNullMessage times the receive path end to end on a two-node
 // machine, subtracting the send cost and wire latency so the residual is
 // the receive overhead the table reports.
-func measureNullMessage(impl glaze.AtomicityImpl) table4Point {
+func measureNullMessage(impl glaze.AtomicityImpl, opt Options) table4Point {
 	var snaps []metrics.Snapshot
 	run := func(polling bool) uint64 {
 		cfg := glaze.DefaultConfig()
 		cfg.W, cfg.H = 2, 1
 		cfg.Cost = glaze.Costs(impl)
+		if mut := opt.machineMut(nil); mut != nil {
+			mut(&cfg)
+		}
 		m := glaze.NewMachine(cfg)
 		job := m.NewJob("pingpong")
 		ep0 := udm.Attach(job.Process(0))
@@ -155,17 +158,20 @@ func measureNullMessage(impl glaze.AtomicityImpl) table4Point {
 	}
 	// Interrupt path: the receiver main simply finishes after the upcall
 	// runs; measure via a handler-completion timestamp instead.
-	intr, intrSnap := measureInterrupt(impl)
+	intr, intrSnap := measureInterrupt(impl, opt)
 	poll := run(true)
 	snaps = append(snaps, intrSnap)
 	return table4Point{intr: intr, poll: poll, metrics: metrics.Merge(snaps...)}
 }
 
 // measureInterrupt times interrupt delivery: handler-entry minus arrival.
-func measureInterrupt(impl glaze.AtomicityImpl) (uint64, metrics.Snapshot) {
+func measureInterrupt(impl glaze.AtomicityImpl, opt Options) (uint64, metrics.Snapshot) {
 	cfg := glaze.DefaultConfig()
 	cfg.W, cfg.H = 2, 1
 	cfg.Cost = glaze.Costs(impl)
+	if mut := opt.machineMut(nil); mut != nil {
+		mut(&cfg)
+	}
 	m := glaze.NewMachine(cfg)
 	job := m.NewJob("pingpong")
 	ep0 := udm.Attach(job.Process(0))

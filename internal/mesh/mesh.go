@@ -16,6 +16,7 @@ import (
 
 	"fugu/internal/metrics"
 	"fugu/internal/sim"
+	"fugu/internal/spans"
 )
 
 // Class selects one of the two logical networks.
@@ -105,7 +106,14 @@ type Net struct {
 	mWords   [numClasses]*metrics.Counter
 	mRefused [numClasses]*metrics.Counter
 	mBlocked *metrics.Gauge // packets parked in-network (link back-pressure)
+
+	// rec observes message lifecycles, nil (no-op) unless UseSpans is called.
+	rec *spans.Recorder
 }
+
+// UseSpans installs a lifecycle recorder: every Send begins a span and
+// arrival/backpressure transitions are recorded against the packet ID.
+func (n *Net) UseSpans(rec *spans.Recorder) { n.rec = rec }
 
 // UseMetrics binds the network's instruments into a registry: per-class
 // traffic counters ("mesh.<class>.packets", ".words", ".refused") and a
@@ -175,6 +183,7 @@ func (n *Net) Send(class Class, src, dst int, words []uint64) *Packet {
 		SentAt: n.eng.Now(),
 	}
 	n.nextID++
+	n.rec.Begin(pkt.SentAt, pkt.ID, class.String(), src, dst, len(words))
 	n.stats[class].Packets++
 	n.stats[class].Words += uint64(len(words))
 	n.mPackets[class].Inc()
@@ -195,11 +204,13 @@ func (n *Net) Send(class Class, src, dst int, words []uint64) *Packet {
 // already blocked there so per-pair order is preserved even across refusals.
 func (n *Net) deliver(pkt *Packet) {
 	pkt.ArrivedAt = n.eng.Now()
+	n.rec.Arrive(pkt.ArrivedAt, pkt.ID)
 	q := n.blocked[pkt.Class][pkt.Dst]
 	if len(q) > 0 {
 		// Keep strict arrival order: never bypass blocked packets.
 		n.blocked[pkt.Class][pkt.Dst] = append(q, pkt)
 		n.mBlocked.Add(1)
+		n.rec.NetBlock(pkt.ArrivedAt, pkt.ID)
 		return
 	}
 	ep := n.endpoints[pkt.Class][pkt.Dst]
@@ -211,6 +222,7 @@ func (n *Net) deliver(pkt *Packet) {
 		n.mRefused[pkt.Class].Inc()
 		n.blocked[pkt.Class][pkt.Dst] = append(q, pkt)
 		n.mBlocked.Add(1)
+		n.rec.NetBlock(pkt.ArrivedAt, pkt.ID)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fugu/internal/mesh"
 	"fugu/internal/metrics"
 	"fugu/internal/sim"
+	"fugu/internal/spans"
 )
 
 // Trap enumerates the synchronous traps of Table 2. Operations return the
@@ -122,7 +123,15 @@ type NI struct {
 	mDisposed  *metrics.Counter
 	mKDisposed *metrics.Counter
 	mQueueLen  *metrics.Gauge
+
+	// rec observes message lifecycles, nil (no-op) unless UseSpans is called.
+	rec *spans.Recorder
 }
+
+// UseSpans installs a lifecycle recorder: input-queue acceptance and
+// fast-path disposal are recorded against the packet ID. Kernel disposals
+// are recorded by the glaze layer, which knows their cause.
+func (ni *NI) UseSpans(rec *spans.Recorder) { ni.rec = rec }
 
 // UseMetrics binds the NI's instruments into a registry: lifetime counters
 // mirroring Stats ("nic.arrived", ".refused", ".launched", ".disposed",
@@ -173,6 +182,7 @@ func (ni *NI) Arrive(pkt *mesh.Packet) bool {
 	}
 	ni.arrived++
 	ni.mArrived.Inc()
+	ni.rec.Queued(ni.eng.Now(), pkt.ID, ni.node)
 	ni.in = append(ni.in, pkt)
 	ni.mQueueLen.Set(int64(len(ni.in)))
 	if len(ni.in) == 1 {
@@ -242,6 +252,7 @@ func (ni *NI) Dispose() Trap {
 	}
 	ni.disposed++
 	ni.mDisposed.Inc()
+	ni.rec.End(ni.eng.Now(), ni.in[0].ID, ni.node, spans.TermFast)
 	ni.popHead()
 	ni.uac &^= UACDisposePending
 	ni.timer.preset()

@@ -1,0 +1,130 @@
+package spans
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Section is one titled block of a diagnostic report (per-node run-queue
+// state, buffer contents, a subsystem's protocol state, ...).
+type Section struct {
+	Title string
+	Body  string
+}
+
+// WaitEdge is one edge of a waits-for graph: From cannot proceed until To
+// does. Vertex names are free-form but must agree across providers for
+// cycle detection to connect them (the CRL provider uses "acq:n<node>:r<id>",
+// "txn:r<id>" and "sec:r<id>@<node>").
+type WaitEdge struct {
+	From string
+	To   string
+	Note string
+}
+
+// Report is a liveness diagnostic: why the watchdog fired, the state of
+// every node, and the waits-for graph with any cycle found in it.
+type Report struct {
+	At       uint64
+	Reason   string
+	Sections []Section
+	Edges    []WaitEdge
+	Cycle    []string // closed vertex path, first == last; nil if acyclic
+}
+
+// String renders the report for humans.
+func (r *Report) String() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== liveness report at t=%d ==\n", r.At)
+	fmt.Fprintf(&b, "reason: %s\n", r.Reason)
+	for _, s := range r.Sections {
+		fmt.Fprintf(&b, "\n-- %s --\n%s", s.Title, s.Body)
+		if !strings.HasSuffix(s.Body, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("\n-- waits-for graph --\n")
+	if len(r.Edges) == 0 {
+		b.WriteString("(no edges reported)\n")
+	}
+	for _, e := range r.Edges {
+		fmt.Fprintf(&b, "%s -> %s", e.From, e.To)
+		if e.Note != "" {
+			fmt.Fprintf(&b, "  (%s)", e.Note)
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.Cycle) > 0 {
+		fmt.Fprintf(&b, "CYCLE: %s\n", strings.Join(r.Cycle, " -> "))
+	} else {
+		b.WriteString("no waits-for cycle detected (a dangling wait suggests a lost or dropped event)\n")
+	}
+	return b.String()
+}
+
+// FindCycle returns a cycle in the waits-for graph as a closed vertex
+// path (first element repeated last), or nil if the graph is acyclic.
+// The search is deterministic: vertices and successors are visited in
+// sorted order, so equal inputs yield an identical cycle.
+func FindCycle(edges []WaitEdge) []string {
+	adj := make(map[string][]string)
+	verts := make([]string, 0, len(edges))
+	seen := make(map[string]bool)
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		for _, v := range []string{e.From, e.To} {
+			if !seen[v] {
+				seen[v] = true
+				verts = append(verts, v)
+			}
+		}
+	}
+	sort.Strings(verts)
+	for _, succ := range adj {
+		sort.Strings(succ)
+	}
+
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the current DFS path
+		black = 2 // fully explored
+	)
+	color := make(map[string]int, len(verts))
+	var path []string
+	var dfs func(v string) []string
+	dfs = func(v string) []string {
+		color[v] = gray
+		path = append(path, v)
+		for _, w := range adj[v] {
+			switch color[w] {
+			case gray:
+				// Found a back edge: the cycle is the path suffix from w.
+				for i, p := range path {
+					if p == w {
+						cyc := append([]string(nil), path[i:]...)
+						return append(cyc, w)
+					}
+				}
+			case white:
+				if cyc := dfs(w); cyc != nil {
+					return cyc
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		color[v] = black
+		return nil
+	}
+	for _, v := range verts {
+		if color[v] == white {
+			if cyc := dfs(v); cyc != nil {
+				return cyc
+			}
+		}
+	}
+	return nil
+}

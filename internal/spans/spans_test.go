@@ -1,0 +1,177 @@
+package spans
+
+import (
+	"strings"
+	"testing"
+
+	"fugu/internal/trace"
+)
+
+func TestLifecycleFastPath(t *testing.T) {
+	r := NewRecorder(nil)
+	r.Begin(10, 0, "user", 0, 1, 2)
+	r.Arrive(15, 0)
+	r.Queued(15, 0, 1)
+	r.Dispatch(40, 0, 0x7)
+	r.End(50, 0, 1, TermFast)
+
+	c := r.Counts()
+	if c.Begun != 1 || c.Fast != 1 || c.Ended() != 1 {
+		t.Fatalf("counts = %+v, want one begun ending fast", c)
+	}
+	if got := r.InFlight(); len(got) != 0 {
+		t.Fatalf("in-flight after end: %v", got)
+	}
+	if v := r.Violations(); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	if probs := r.Check(1, 0); len(probs) != 0 {
+		t.Fatalf("Check: %v", probs)
+	}
+}
+
+func TestLifecycleBufferedPath(t *testing.T) {
+	r := NewRecorder(nil)
+	r.Begin(0, 3, "user", 2, 0, 4)
+	r.NetBlock(5, 3)
+	r.Queued(9, 3, 0)
+	r.Insert(20, 3, 0, "gid-mismatch")
+	r.End(90, 3, 0, TermBuffered)
+
+	c := r.Counts()
+	if c.Inserts != 1 || c.Buffered != 1 {
+		t.Fatalf("counts = %+v, want one insert and one buffered drain", c)
+	}
+	if probs := r.Check(0, 1); len(probs) != 0 {
+		t.Fatalf("Check: %v", probs)
+	}
+}
+
+func TestViolations(t *testing.T) {
+	r := NewRecorder(nil)
+	r.Begin(0, 1, "user", 0, 1, 2)
+	r.Begin(1, 1, "user", 0, 1, 2) // duplicate begin
+	r.Arrive(2, 99)                // unknown span
+	r.End(3, 1, 1, TermBuffered)   // buffered end never inserted
+	r.End(4, 1, 1, TermFast)       // already ended
+
+	v := strings.Join(r.Violations(), "\n")
+	for _, want := range []string{"duplicate begin", "unknown span", "never inserted", "already-ended"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("violations missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestCheckFlagsStuckAndMismatchedCounts(t *testing.T) {
+	r := NewRecorder(nil)
+	r.Begin(0, 1, "user", 0, 1, 2) // never ends
+	r.Begin(0, 2, "user", 0, 1, 2)
+	r.Queued(1, 2, 1)
+	r.Insert(2, 2, 1, "divert") // inserted, never drained
+	probs := strings.Join(r.Check(5, 0), "\n")
+	for _, want := range []string{
+		"never reached a terminal state",
+		"fast spans (0) != glaze.deliver.fast (5)",
+		"buffer inserts (1) != glaze.deliver.buffered (0)",
+		"stuck in a software buffer",
+	} {
+		if !strings.Contains(probs, want) {
+			t.Errorf("Check missing %q:\n%s", want, probs)
+		}
+	}
+}
+
+func TestEpochsSeparateMachines(t *testing.T) {
+	r := NewRecorder(nil)
+	r.AttachMachine()
+	r.Begin(0, 0, "user", 0, 1, 2)
+	r.End(9, 0, 1, TermFast)
+	r.AttachMachine() // second machine: packet IDs restart at zero
+	r.Begin(0, 0, "user", 1, 0, 2)
+	r.End(7, 0, 0, TermFast)
+	if v := r.Violations(); len(v) != 0 {
+		t.Fatalf("epoch reuse of id 0 flagged: %v", v)
+	}
+	if c := r.Counts(); c.Begun != 2 || c.Fast != 2 {
+		t.Fatalf("counts = %+v, want 2 begun / 2 fast", c)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.AttachMachine()
+	r.Begin(0, 0, "user", 0, 1, 2)
+	r.Arrive(1, 0)
+	r.NetBlock(1, 0)
+	r.Queued(1, 0, 1)
+	r.Insert(1, 0, 1, "divert")
+	r.Dispatch(1, 0, 7)
+	r.End(2, 0, 1, TermFast)
+	r.SetReport(&Report{})
+	if r.Counts() != (Counts{}) || r.InFlight() != nil || r.Violations() != nil ||
+		r.Check(0, 0) != nil || r.Report() != nil || r.Epoch() != 0 {
+		t.Fatal("nil recorder must observe nothing")
+	}
+}
+
+func TestRecorderMirrorsToTraceLog(t *testing.T) {
+	log := trace.New(16)
+	log.Enable(trace.Span)
+	r := NewRecorder(log)
+	r.Begin(0, 0, "user", 0, 1, 2)
+	r.End(5, 0, 1, TermFast)
+	if log.Total() != 2 {
+		t.Fatalf("trace log recorded %d events, want 2", log.Total())
+	}
+}
+
+func TestFindCycle(t *testing.T) {
+	cyclic := []WaitEdge{
+		{From: "acq:n0:r1", To: "txn:r1"},
+		{From: "txn:r1", To: "sec:r1@2"},
+		{From: "sec:r1@2", To: "acq:n2:r0"},
+		{From: "acq:n2:r0", To: "txn:r0"},
+		{From: "txn:r0", To: "sec:r0@0"},
+		{From: "sec:r0@0", To: "acq:n0:r1"},
+	}
+	cycle := FindCycle(cyclic)
+	if len(cycle) == 0 {
+		t.Fatal("missed the cycle")
+	}
+	if cycle[0] != cycle[len(cycle)-1] {
+		t.Fatalf("cycle not closed: %v", cycle)
+	}
+
+	dangling := []WaitEdge{
+		{From: "acq:n0:r1", To: "txn:r1"},
+		{From: "txn:r2", To: "sec:r2@3"},
+	}
+	if got := FindCycle(dangling); got != nil {
+		t.Fatalf("found a cycle in an acyclic graph: %v", got)
+	}
+	if FindCycle(nil) != nil {
+		t.Fatal("empty graph must have no cycle")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{
+		At:     100,
+		Reason: "no delivery progress",
+		Sections: []Section{
+			{Title: "engine", Body: "t=100\n"},
+		},
+		Edges: []WaitEdge{{From: "acq:n0:r1", To: "txn:r1", Note: "waiting"}},
+	}
+	s := rep.String()
+	for _, want := range []string{"t=100", "no delivery progress", "acq:n0:r1 -> txn:r1", "dangling wait"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	rep.Cycle = []string{"a", "b", "a"}
+	if !strings.Contains(rep.String(), "CYCLE: a -> b -> a") {
+		t.Errorf("report missing cycle line:\n%s", rep.String())
+	}
+}

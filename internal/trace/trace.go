@@ -19,6 +19,7 @@ const (
 	Sched                    // context switches, gang ticks
 	Overflow                 // overflow-control trips and releases
 	Message                  // per-message events (very verbose)
+	Span                     // message-lifecycle span events (very verbose)
 	numCategories
 )
 
@@ -32,6 +33,8 @@ func (c Category) String() string {
 		return "overflow"
 	case Message:
 		return "message"
+	case Span:
+		return "span"
 	default:
 		return fmt.Sprintf("cat(%d)", int(c))
 	}

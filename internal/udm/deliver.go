@@ -46,6 +46,11 @@ func (ep *EP) extract(t *cpu.Task, perWordCost uint64) *Msg {
 	if c := perWordCost * uint64(len(m.Args)); c > 0 {
 		t.Spend(c)
 	}
+	if rec := p.Kernel().Machine().Spans; rec != nil {
+		if id, ok := p.HeadID(); ok {
+			rec.Dispatch(t.Now(), id, m.Handler)
+		}
+	}
 	p.Kernel().UserDispose(t, p)
 	if haveSent {
 		p.ObserveLatency(fast, t.Now()-sentAt)
