@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"fugu/internal/apps"
+	"fugu/internal/harness"
+	"fugu/internal/metrics"
+)
+
+// BenchRow is one workload's measurement in the machine-readable report.
+// The throughput figure is simulated megacycles advanced per wall-clock
+// second — the end-to-end speed of the simulator core — and the per-event
+// columns normalize by dispatched engine events so runs of different sizes
+// compare directly.
+type BenchRow struct {
+	Workload       string  `json:"workload"`
+	McyclesPerSec  float64 `json:"mcycles_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+}
+
+// benchCmd implements `fugusim bench`: run the three representative
+// workloads (barrier: baton-heavy synchronization; synth: multiprogrammed
+// producer/consumer traffic; crlstress: coherence-protocol request/reply
+// plus bulk data), measure simulator throughput and allocation rates, and
+// write the report as JSON. With -baseline it compares throughput against a
+// committed report and exits nonzero on a regression beyond -max-regress —
+// the CI perf gate.
+func benchCmd(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "run the scaled-down workloads (the default; -full overrides)")
+	full := fs.Bool("full", false, "run the larger workloads (slower, steadier numbers)")
+	seed := fs.Uint64("seed", 1, "machine seed for every workload")
+	out := fs.String("o", "BENCH_4.json", "write the JSON report to this path (- for stdout only)")
+	baseline := fs.String("baseline", "", "compare against this committed report; exit 1 on regression")
+	maxRegress := fs.Float64("max-regress", 0.20, "tolerated fractional throughput drop vs -baseline")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the bench run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fugusim bench [flags]\n")
+		fs.PrintDefaults()
+	}
+	if names := parseInterleaved(fs, args); len(names) != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *quick && *full {
+		fmt.Fprintln(os.Stderr, "fugusim: -quick and -full are mutually exclusive")
+		os.Exit(2)
+	}
+	stopProf, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+
+	barrierN, crlOps := 2000, 20
+	if *full {
+		barrierN, crlOps = 10000, 45
+	}
+	s := *seed
+
+	rows := []BenchRow{
+		measure("barrier", func() (uint64, metrics.Snapshot) {
+			rs := harness.RunStandalone(func() apps.Instance { return apps.NewBarrierApp(barrierN) }, s)
+			mustOK("barrier", rs.Err)
+			return rs.Runtime, rs.Metrics
+		}),
+		measure("synth", func() (uint64, metrics.Snapshot) {
+			rs := harness.RunMultiprogrammedQ(
+				func() apps.Instance { return apps.NewSynth(100, 20, 100) },
+				0, s, 50_000, nil)
+			mustOK("synth", rs.Err)
+			return rs.Runtime, rs.Metrics
+		}),
+		measure("crlstress", func() (uint64, metrics.Snapshot) {
+			row, snap := harness.RunCRLStressOnce(crlOps, s)
+			if !row.Completed {
+				mustOK("crlstress", fmt.Errorf("workload wedged"))
+			}
+			if row.Total != row.Expected {
+				mustOK("crlstress", fmt.Errorf("lost updates: total %d, expected %d", row.Total, row.Expected))
+			}
+			return row.Cycles, snap
+		}),
+	}
+
+	for _, r := range rows {
+		fmt.Printf("%-10s %10.2f Mcycles/s %10.3f allocs/event %10.1f ns/event\n",
+			r.Workload, r.McyclesPerSec, r.AllocsPerEvent, r.NsPerEvent)
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out != "-" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "fugusim: bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: report written to %s\n", *out)
+	} else {
+		os.Stdout.Write(data)
+	}
+
+	if *baseline != "" {
+		if !compareBaseline(rows, *baseline, *maxRegress) {
+			os.Exit(1)
+		}
+	}
+}
+
+// measure runs one workload with a clean heap and reports throughput and
+// per-event allocation cost. Events come from the engine's "sim.events"
+// counter in the run's merged metrics snapshot; allocations are the
+// process-wide Mallocs delta across the run, which is why the heap is
+// settled with a GC first.
+func measure(name string, run func() (cycles uint64, snap metrics.Snapshot)) BenchRow {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	cycles, snap := run()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	events := snap.Counters["sim.events"]
+	r := BenchRow{Workload: name}
+	if sec := wall.Seconds(); sec > 0 {
+		r.McyclesPerSec = float64(cycles) / 1e6 / sec
+	}
+	if events > 0 {
+		r.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(events)
+		r.NsPerEvent = float64(wall.Nanoseconds()) / float64(events)
+	}
+	return r
+}
+
+// mustOK aborts the bench when a workload failed its own correctness check:
+// a broken simulation's throughput is not a datum.
+func mustOK(name string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: bench: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+// compareBaseline checks each measured workload's throughput against the
+// committed report, tolerating a maxRegress fractional drop. Workloads
+// missing from the baseline pass (new workloads shouldn't brick CI); a
+// workload present only in the baseline fails, so coverage cannot silently
+// shrink.
+func compareBaseline(rows []BenchRow, path string, maxRegress float64) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: bench: baseline: %v\n", err)
+		return false
+	}
+	var base []BenchRow
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: bench: baseline %s: %v\n", path, err)
+		return false
+	}
+	measured := make(map[string]BenchRow, len(rows))
+	for _, r := range rows {
+		measured[r.Workload] = r
+	}
+	ok := true
+	for _, b := range base {
+		r, found := measured[b.Workload]
+		if !found {
+			fmt.Fprintf(os.Stderr, "bench: FAIL %s: in baseline but not measured\n", b.Workload)
+			ok = false
+			continue
+		}
+		floor := b.McyclesPerSec * (1 - maxRegress)
+		if r.McyclesPerSec < floor {
+			fmt.Fprintf(os.Stderr, "bench: FAIL %s: %.2f Mcycles/s < floor %.2f (baseline %.2f, tolerance %.0f%%)\n",
+				b.Workload, r.McyclesPerSec, floor, b.McyclesPerSec, maxRegress*100)
+			ok = false
+		} else {
+			fmt.Fprintf(os.Stderr, "bench: ok %s: %.2f Mcycles/s vs baseline %.2f (floor %.2f)\n",
+				b.Workload, r.McyclesPerSec, b.McyclesPerSec, floor)
+		}
+	}
+	return ok
+}

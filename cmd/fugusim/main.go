@@ -57,10 +57,13 @@ func main() {
 	metricsDir := flag.String("metrics", "", "write merged registry snapshots (JSON+CSV) into this directory")
 	jobs := flag.Int("j", 0, "worker-pool size for sweep points (default: GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report each completed sweep point on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage:\n")
 		fmt.Fprintf(os.Stderr, "  fugusim list\n")
 		fmt.Fprintf(os.Stderr, "  fugusim run [flags] <experiment>... | all\n")
+		fmt.Fprintf(os.Stderr, "  fugusim bench [flags]\n")
 		fmt.Fprintf(os.Stderr, "  fugusim trace [flags] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "  fugusim doctor [flags] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", harness.Names())
@@ -76,6 +79,9 @@ func main() {
 	switch flag.Arg(0) {
 	case "list":
 		list(os.Stdout)
+		return
+	case "bench":
+		benchCmd(flag.Args()[1:])
 		return
 	case "trace":
 		traceCmd(flag.Args()[1:])
@@ -110,6 +116,13 @@ func main() {
 	if *trials > 0 {
 		opts = append(opts, harness.WithTrials(*trials))
 	}
+
+	stopProf, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

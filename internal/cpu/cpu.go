@@ -109,7 +109,12 @@ func (c *CPU) notifyRun(prev, next *Task) {
 func (c *CPU) enqueue(t *Task, front bool) {
 	q := c.ready[t.prio]
 	if front {
-		c.ready[t.prio] = append([]*Task{t}, q...)
+		// Shift in place rather than rebuilding the slice: preemptions are
+		// frequent enough that the copy beats an allocation per enqueue.
+		q = append(q, nil)
+		copy(q[1:], q)
+		q[0] = t
+		c.ready[t.prio] = q
 	} else {
 		c.ready[t.prio] = append(q, t)
 	}

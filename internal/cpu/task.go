@@ -37,10 +37,13 @@ type Task struct {
 	// interrupt handlers, matching FUGU.
 	preemptible bool
 
-	// Spend bookkeeping.
+	// Spend bookkeeping. spendFn is the completion callback, built once at
+	// task creation so arming a spend schedules an existing closure instead
+	// of allocating a fresh one per Spend.
 	remaining  uint64
 	spendStart uint64
-	spendEv    *sim.Event
+	spendEv    sim.Handle
+	spendFn    func()
 
 	consumed uint64 // total cycles this task has spent
 
@@ -62,6 +65,12 @@ func (c *CPU) NewTask(name string, prio Priority, domain Domain, fn func(*Task))
 		domain:      domain,
 		state:       taskReady,
 		preemptible: prio != PrioISR,
+	}
+	t.spendFn = func() {
+		t.account(t.remaining)
+		t.remaining = 0
+		t.spendEv = sim.Handle{}
+		t.cpu.wakeProc(t)
 	}
 	t.proc = c.eng.Spawn(name, func(p *sim.Proc) {
 		t.waitGrant()
@@ -167,23 +176,18 @@ func (t *Task) Spend(n uint64) {
 // armSpend schedules the completion event for the current balance.
 func (t *Task) armSpend() {
 	t.spendStart = t.cpu.eng.Now()
-	t.spendEv = t.cpu.eng.Schedule(t.remaining, func() {
-		t.account(t.remaining)
-		t.remaining = 0
-		t.spendEv = nil
-		t.cpu.wakeProc(t)
-	})
+	t.spendEv = t.cpu.eng.Schedule(t.remaining, t.spendFn)
 }
 
 // suspendSpend cancels an in-flight spend completion, charging the elapsed
 // portion. Called (from event context) when t is preempted while parked.
 func (t *Task) suspendSpend() {
-	if t.spendEv == nil {
+	if !t.spendEv.Pending() {
 		return
 	}
 	elapsed := t.cpu.eng.Now() - t.spendStart
 	t.cpu.eng.Cancel(t.spendEv)
-	t.spendEv = nil
+	t.spendEv = sim.Handle{}
 	if elapsed >= t.remaining {
 		elapsed = t.remaining
 	}

@@ -12,8 +12,9 @@ type Gang struct {
 	quantum uint64
 	skew    float64 // fraction of the quantum by which node clocks differ
 
-	slots []*Job // nil entries are null slots
-	idx   []int  // per-node current slot index
+	slots   []*Job   // nil entries are null slots
+	idx     []int    // per-node current slot index
+	tickFns []func() // per-node tick closures, built once so requeueing never allocates
 
 	preferred *Job // overflow-control advice: co-schedule this job
 
@@ -64,10 +65,12 @@ func (g *Gang) Start() {
 		panic("glaze: gang scheduler started twice")
 	}
 	g.started = true
+	g.tickFns = make([]func(), g.m.Net.Nodes())
 	for node := 0; node < g.m.Net.Nodes(); node++ {
 		node := node
 		g.idx[node] = -1
-		g.m.Eng.Schedule(g.offset(node), func() { g.tick(node) })
+		g.tickFns[node] = func() { g.tick(node) }
+		g.m.Eng.Schedule(g.offset(node), g.tickFns[node])
 	}
 }
 
@@ -99,7 +102,7 @@ func (g *Gang) tick(node int) {
 	if p == nil {
 		g.mTicksNull.Inc()
 	}
-	g.m.Eng.Schedule(g.quantum, func() { g.tick(node) })
+	g.m.Eng.Schedule(g.quantum, g.tickFns[node])
 }
 
 // Prefer advises the scheduler to co-schedule job (overflow control).

@@ -35,11 +35,12 @@ type wdFingerprint struct {
 }
 
 type watchdog struct {
-	m      *Machine
-	cfg    WatchdogConfig
-	last   wdFingerprint
-	stale  int
-	report *spans.Report
+	m       *Machine
+	cfg     WatchdogConfig
+	last    wdFingerprint
+	stale   int
+	checkFn func() // w.check bound once so rescheduling never allocates
+	report  *spans.Report
 }
 
 func newWatchdog(m *Machine, cfg WatchdogConfig) *watchdog {
@@ -47,7 +48,8 @@ func newWatchdog(m *Machine, cfg WatchdogConfig) *watchdog {
 		cfg.Grace = 1
 	}
 	w := &watchdog{m: m, cfg: cfg}
-	m.Eng.Schedule(cfg.Interval, w.check)
+	w.checkFn = w.check
+	m.Eng.Schedule(cfg.Interval, w.checkFn)
 	return w
 }
 
@@ -85,7 +87,7 @@ func (w *watchdog) check() {
 			return
 		}
 	}
-	w.m.Eng.Schedule(w.cfg.Interval, w.check)
+	w.m.Eng.Schedule(w.cfg.Interval, w.checkFn)
 }
 
 func (w *watchdog) fire() {

@@ -66,6 +66,14 @@ func CRLStress(opts ...Option) (CRLStressResult, error) {
 	return runAs[CRLStressResult]("crlstress", opts...)
 }
 
+// RunCRLStressOnce executes a single stress point outside the sweep — the
+// bench subcommand's protocol-heavy workload. It returns the row plus the
+// machine's merged metrics snapshot (for event counts).
+func RunCRLStressOnce(ops int, seed uint64) (CRLStressRow, metrics.Snapshot) {
+	p := runCRLStress(ops, NewOptions(WithSeed(seed), WithTrials(1), WithQuick()))
+	return p.row, p.snap
+}
+
 // crlStressExperiment sweeps the CRL stress workload over per-node op
 // counts. It exists for the doctor: the workload mixes fast-path
 // request-reply traffic with buffered bulk data and has historically

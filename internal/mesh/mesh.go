@@ -87,10 +87,11 @@ type Stats struct {
 
 // Net is the interconnect for a machine of W×H nodes.
 type Net struct {
-	eng    *sim.Engine
-	w, h   int
-	lat    LatencyModel
-	nextID uint64
+	eng       *sim.Engine
+	w, h      int
+	lat       LatencyModel
+	nextID    uint64
+	deliverFn func(any) // n.deliver bound once; Send schedules it with the packet as arg
 
 	endpoints [numClasses][]Endpoint
 	// blocked packets per (class, dst), FIFO in arrival order.
@@ -133,6 +134,7 @@ func (n *Net) UseMetrics(r *metrics.Registry) {
 func New(eng *sim.Engine, w, h int, lat LatencyModel) *Net {
 	n := w * h
 	net := &Net{eng: eng, w: w, h: h, lat: lat}
+	net.deliverFn = func(arg any) { net.deliver(arg.(*Packet)) }
 	for c := range net.endpoints {
 		net.endpoints[c] = make([]Endpoint, n)
 		net.blocked[c] = make([][]*Packet, n)
@@ -196,7 +198,7 @@ func (n *Net) Send(class Class, src, dst int, words []uint64) *Packet {
 		at = last + 1
 	}
 	n.lastArrive[class][src*n.Nodes()+dst] = at
-	n.eng.ScheduleAt(at, func() { n.deliver(pkt) })
+	n.eng.ScheduleArgAt(at, n.deliverFn, pkt)
 	return pkt
 }
 

@@ -101,6 +101,7 @@ type NI struct {
 	out         []uint64
 	outBusyTill uint64
 	spaceWait   *sim.Cond // procs blocked for output drain (blocking stores)
+	drainFn     func()    // broadcasts spaceWait; bound once so Launch never allocates
 
 	// Protection and control state (kernel-managed except UAC user bits).
 	gid    GID
@@ -151,6 +152,7 @@ func (ni *NI) UseMetrics(r *metrics.Registry) {
 func New(eng *sim.Engine, net *mesh.Net, node int, cfg Config) *NI {
 	ni := &NI{eng: eng, net: net, node: node, cfg: cfg}
 	ni.spaceWait = sim.NewCond(eng)
+	ni.drainFn = func() { ni.spaceWait.Broadcast() }
 	ni.timer.init(eng, cfg.TimerPreset, ni)
 	net.Register(node, mesh.Main, ni)
 	return ni
@@ -379,7 +381,7 @@ func (ni *NI) Launch(kernelPriv bool) Trap {
 		start = ni.outBusyTill
 	}
 	ni.outBusyTill = start + drain
-	ni.eng.Schedule(ni.outBusyTill-ni.eng.Now(), func() { ni.spaceWait.Broadcast() })
+	ni.eng.Schedule(ni.outBusyTill-ni.eng.Now(), ni.drainFn)
 
 	ni.net.Send(mesh.Main, ni.node, HeaderDst(h), words)
 	return TrapNone

@@ -19,7 +19,8 @@ type atomicityTimer struct {
 	remaining uint64
 	running   bool // currently counting down
 	startAt   uint64
-	ev        *sim.Event
+	ev        sim.Handle
+	fireFn    func() // t.fire bound once, so re-arming never allocates
 
 	userRunning bool
 	fired       uint64 // lifetime expiry count
@@ -30,6 +31,7 @@ func (t *atomicityTimer) init(eng *sim.Engine, preset uint64, ni *NI) {
 	t.ni = ni
 	t.presetVal = preset
 	t.remaining = preset
+	t.fireFn = t.fire
 }
 
 // armed applies Table 3: timer-force enables unconditionally;
@@ -53,7 +55,7 @@ func (t *atomicityTimer) update() {
 	if t.userRunning && !t.running {
 		t.startAt = t.eng.Now()
 		t.running = true
-		t.ev = t.eng.Schedule(t.remaining, t.fire)
+		t.ev = t.eng.Schedule(t.remaining, t.fireFn)
 	} else if !t.userRunning && t.running {
 		t.pause()
 	}
@@ -61,10 +63,8 @@ func (t *atomicityTimer) update() {
 
 // halt stops counting without charging elapsed time (disarm path).
 func (t *atomicityTimer) halt() {
-	if t.ev != nil {
-		t.eng.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.eng.Cancel(t.ev)
+	t.ev = sim.Handle{}
 	t.running = false
 }
 
@@ -84,12 +84,12 @@ func (t *atomicityTimer) preset() {
 	if t.running {
 		t.eng.Cancel(t.ev)
 		t.startAt = t.eng.Now()
-		t.ev = t.eng.Schedule(t.remaining, t.fire)
+		t.ev = t.eng.Schedule(t.remaining, t.fireFn)
 	}
 }
 
 func (t *atomicityTimer) fire() {
-	t.ev = nil
+	t.ev = sim.Handle{}
 	t.running = false
 	t.remaining = t.presetVal
 	t.fired++

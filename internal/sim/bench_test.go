@@ -1,0 +1,99 @@
+package sim
+
+import "testing"
+
+// The benchmarks below pin the engine's hot paths. The headline property is
+// the allocs/op column: once the event pool is warm, schedule+fire,
+// schedule+cancel and the wake/sleep paths must all run allocation-free —
+// the Event structs recycle through the free list and proc wakes ride the
+// event's proc field instead of a closure.
+
+// BenchmarkSchedule measures the schedule+fire cycle: one event scheduled
+// and run to completion per iteration.
+func BenchmarkSchedule(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1, fn)
+		e.Run()
+	}
+}
+
+// BenchmarkScheduleCancel measures the schedule+cancel cycle, the pattern of
+// re-armed timeouts (the NI atomicity timer, preemptible sleeps).
+func BenchmarkScheduleCancel(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := e.Schedule(100, fn)
+		e.Cancel(h)
+	}
+}
+
+// BenchmarkScheduleWake measures the proc wake path: a single proc sleeping
+// one cycle at a time. With the park fast path this resumes inline, without
+// any channel handoff, and the proc-carrying wake event allocates nothing.
+func BenchmarkScheduleWake(b *testing.B) {
+	e := NewEngine(1)
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkBatonRoundTrip measures a cross-proc switch: two procs waking
+// each other alternately, the pattern the baton protocol pays goroutine
+// handoffs for (a parking proc dispatches the next one directly).
+func BenchmarkBatonRoundTrip(b *testing.B) {
+	e := NewEngine(1)
+	var pa, pb *Proc
+	pa = e.Spawn("ping", func(p *Proc) {
+		// Let pong consume its spawn dispatch and park before the first wake.
+		p.Yield()
+		for i := 0; i < b.N; i++ {
+			e.Wake(pb)
+			p.Park()
+		}
+		e.Stop()
+	})
+	pb = e.Spawn("pong", func(p *Proc) {
+		for {
+			p.Park()
+			if e.Stopped() {
+				return
+			}
+			e.Wake(pa)
+		}
+	})
+	_ = pa
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkHeapChurn measures cancel+reschedule against a deep queue: the
+// 4-ary heap's middle-removal and insert with ~1k events pending.
+func BenchmarkHeapChurn(b *testing.B) {
+	e := NewEngine(7)
+	fn := func() {}
+	const pending = 1024
+	hs := make([]Handle, pending)
+	for i := range hs {
+		hs[i] = e.Schedule(1_000_000+e.Rand().Uint64n(1_000_000), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % pending
+		e.Cancel(hs[j])
+		hs[j] = e.Schedule(1_000_000+e.Rand().Uint64n(1_000_000), fn)
+	}
+}

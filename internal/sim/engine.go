@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"fugu/internal/metrics"
@@ -14,7 +13,8 @@ type Engine struct {
 	now     uint64
 	seq     uint64
 	heap    eventHeap
-	current *Proc // proc currently holding the baton, nil in engine context
+	free    *Event // recycled event structs (see event.go)
+	current *Proc  // proc currently holding the baton, nil in engine context
 	stopped bool
 	live    int // number of live (spawned, not finished) procs
 
@@ -47,35 +47,95 @@ func (e *Engine) Now() uint64 { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *Rand { return e.rng }
 
+// alloc takes an event from the free list (or the allocator, while the pool
+// is still growing) and stamps it with the fire time and the next sequence
+// number.
+func (e *Engine) alloc(delay uint64) *Event {
+	ev := e.free
+	if ev == nil {
+		ev = &Event{}
+	} else {
+		e.free = ev.next
+		ev.next = nil
+	}
+	ev.at = e.now + delay
+	ev.seq = e.seq
+	e.seq++
+	return ev
+}
+
+// release retires a fired or cancelled event to the free list. Bumping the
+// generation invalidates every outstanding Handle to it; clearing the
+// callback fields drops references the pool must not keep alive.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	ev.fnArg = nil
+	ev.arg = nil
+	ev.proc = nil
+	ev.gen++
+	ev.next = e.free
+	e.free = ev
+}
+
 // Schedule registers fn to run at now+delay and returns a cancellable handle.
 // fn runs in engine context; it may wake procs, schedule further events, or
 // stop the engine, but must not block.
-func (e *Engine) Schedule(delay uint64, fn func()) *Event {
-	ev := &Event{at: e.now + delay, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.heap, ev)
-	return ev
+func (e *Engine) Schedule(delay uint64, fn func()) Handle {
+	ev := e.alloc(delay)
+	ev.fn = fn
+	e.heap.push(ev)
+	return Handle{ev, ev.gen}
+}
+
+// ScheduleArg registers fn(arg) to run at now+delay. It exists for hot paths
+// that would otherwise build a fresh closure per call: the caller binds fn
+// once (a stored func(any)) and passes the varying state as arg, so a send
+// or a timer re-arm costs no allocation. A pointer-typed arg does not
+// allocate when boxed.
+func (e *Engine) ScheduleArg(delay uint64, fn func(any), arg any) Handle {
+	ev := e.alloc(delay)
+	ev.fnArg = fn
+	ev.arg = arg
+	e.heap.push(ev)
+	return Handle{ev, ev.gen}
+}
+
+// scheduleProc registers a baton dispatch of p at now+delay — the wake path.
+// Storing the proc on the event (rather than a func(){ e.dispatch(p) }
+// closure) is what makes Wake/Sleep allocation-free.
+func (e *Engine) scheduleProc(delay uint64, p *Proc) Handle {
+	ev := e.alloc(delay)
+	ev.proc = p
+	e.heap.push(ev)
+	return Handle{ev, ev.gen}
 }
 
 // ScheduleAt registers fn to run at absolute time at (which must not be in
 // the past) and returns a cancellable handle.
-func (e *Engine) ScheduleAt(at uint64, fn func()) *Event {
+func (e *Engine) ScheduleAt(at uint64, fn func()) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: ScheduleAt(%d) in the past (now=%d)", at, e.now))
 	}
 	return e.Schedule(at-e.now, fn)
 }
 
-// Cancel removes a pending event; cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancelled {
+// ScheduleArgAt is ScheduleArg with an absolute fire time.
+func (e *Engine) ScheduleArgAt(at uint64, fn func(any), arg any) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: ScheduleArgAt(%d) in the past (now=%d)", at, e.now))
+	}
+	return e.ScheduleArg(at-e.now, fn, arg)
+}
+
+// Cancel removes a pending event; cancelling an already-fired, already-
+// cancelled or zero handle is a no-op.
+func (e *Engine) Cancel(h Handle) {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.index < 0 {
 		return
 	}
-	ev.cancelled = true
-	if ev.index >= 0 {
-		e.heap.remove(ev.index)
-	}
+	e.heap.remove(int(ev.index))
+	e.release(ev)
 }
 
 // Stop makes Run return after the current event completes.
@@ -92,23 +152,37 @@ func (e *Engine) Run() uint64 {
 		panic("sim: Run called from proc context")
 	}
 	e.stopped = false
-	for !e.stopped && e.heap.Len() > 0 {
-		ev := heap.Pop(&e.heap).(*Event)
-		if ev.cancelled {
-			continue
+	for !e.stopped {
+		ev := e.heap.peek()
+		if ev == nil {
+			break
 		}
 		if e.Limit != 0 && ev.at > e.Limit {
-			// Push back so a later Run with a raised Limit continues.
-			heap.Push(&e.heap, ev)
+			// Leave the event queued: peeking (rather than pop + push-back)
+			// means a RunUntil loop stepping below the next event's time
+			// does no heap work per step.
 			e.now = e.Limit
 			break
 		}
+		e.heap.pop()
 		if ev.at < e.now {
 			panic("sim: event queue went backwards")
 		}
 		e.now = ev.at
 		e.events.Inc()
-		ev.fn()
+		// Copy the callback out and recycle the slot first, so the callback
+		// itself can schedule into the freed slot.
+		if p := ev.proc; p != nil {
+			e.release(ev)
+			e.dispatch(p)
+		} else if fn := ev.fn; fn != nil {
+			e.release(ev)
+			fn()
+		} else {
+			fn, arg := ev.fnArg, ev.arg
+			e.release(ev)
+			fn(arg)
+		}
 	}
 	return e.now
 }
@@ -124,7 +198,7 @@ func (e *Engine) RunUntil(t uint64) uint64 {
 }
 
 // Pending reports how many events remain queued.
-func (e *Engine) Pending() int { return e.heap.Len() }
+func (e *Engine) Pending() int { return e.heap.len() }
 
 // LiveProcs reports how many spawned procs have not yet returned. A nonzero
 // value after Run drains the queue usually indicates deadlock: procs parked

@@ -50,15 +50,15 @@ func TestCancel(t *testing.T) {
 	if ev.Pending() {
 		t.Error("cancelled event still pending")
 	}
-	// Double cancel and cancel-after-fire must be no-ops.
+	// Double cancel and the zero Handle must be no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Handle{})
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := NewEngine(1)
 	var got []int
-	evs := make([]*Event, 20)
+	evs := make([]Handle, 20)
 	for i := range evs {
 		i := i
 		evs[i] = e.Schedule(uint64(i+1), func() { got = append(got, i) })
@@ -135,6 +135,71 @@ func TestRunUntil(t *testing.T) {
 	e.Run()
 	if count != 10 {
 		t.Errorf("count = %d after full run, want 10", count)
+	}
+}
+
+// TestRunUntilStepsPastPendingEvent covers the Limit push-back path: a
+// RunUntil loop stepping up to (but not reaching) a future event must leave
+// that event queued and pending the whole way — the engine peeks rather than
+// popping and re-inserting it each step — and the event must fire exactly
+// once, including at the boundary where its time equals the limit.
+func TestRunUntilStepsPastPendingEvent(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	h := e.Schedule(1000, func() { fired++ })
+	for tm := uint64(10); tm < 1000; tm += 10 {
+		e.RunUntil(tm)
+		if e.Now() != tm {
+			t.Fatalf("Now() = %d after RunUntil(%d)", e.Now(), tm)
+		}
+		if !h.Pending() {
+			t.Fatalf("event not pending at t=%d", tm)
+		}
+		if h.Time() != 1000 {
+			t.Fatalf("event time drifted to %d", h.Time())
+		}
+		if e.Pending() != 1 {
+			t.Fatalf("queue length %d at t=%d, want 1", e.Pending(), tm)
+		}
+		if fired != 0 {
+			t.Fatalf("event fired early at t=%d", tm)
+		}
+	}
+	// Boundary: an event at exactly the limit fires.
+	e.RunUntil(1000)
+	if fired != 1 {
+		t.Fatalf("fired %d times at the boundary, want 1", fired)
+	}
+	if h.Pending() {
+		t.Error("fired event still pending")
+	}
+	// A drained queue leaves the clock at the last event time: the limit
+	// only pins Now when a future event was actually deferred.
+	e.RunUntil(1200)
+	if e.Now() != 1000 || fired != 1 {
+		t.Errorf("Now() = %d fired = %d after draining", e.Now(), fired)
+	}
+}
+
+// TestHandleStaleAfterRecycle checks the generation counter: once an event
+// fires and its slot is recycled by a later Schedule, the old handle must
+// read as not pending and its Cancel must not touch the new tenant.
+func TestHandleStaleAfterRecycle(t *testing.T) {
+	e := NewEngine(1)
+	old := e.Schedule(1, func() {})
+	e.Run()
+	if old.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	fired := false
+	fresh := e.Schedule(5, func() { fired = true }) // reuses the pooled slot
+	e.Cancel(old)                                  // stale: must be a no-op
+	if !fresh.Pending() {
+		t.Fatal("stale Cancel killed the slot's new event")
+	}
+	e.Run()
+	if !fired {
+		t.Error("recycled event did not fire")
 	}
 }
 

@@ -5,65 +5,58 @@
 // instant either the engine loop or exactly one Proc is executing. Given the
 // same inputs and seed, a simulation is bit-reproducible, which the
 // experiment harness relies on.
+//
+// Events are pooled: the structs behind fired or cancelled events return to
+// a per-engine free list and are reissued by later Schedules, so the
+// steady-state schedule/fire cycle performs no allocation. Callers never see
+// an *Event; they hold a Handle — a (slot, generation) pair whose generation
+// must still match the slot's for the handle to be live. Recycling a slot
+// bumps its generation, so Cancel or Pending on a stale handle is a safe
+// no-op rather than an attack on some unrelated event that happens to be
+// renting the memory now.
 package sim
 
-import "container/heap"
-
-// Event is a scheduled callback. Events are created with Engine.Schedule and
-// may be cancelled before they fire. The zero value is not a valid Event.
+// Event is one scheduled entry in the engine's queue. It is an internal
+// pooled resource: exactly one of fn, fnArg or proc is set, selecting the
+// callback flavor (plain closure, pre-bound function + argument, or a proc
+// dispatch that needs no closure at all). Callers refer to events only
+// through Handles.
 type Event struct {
-	at        uint64
-	seq       uint64
-	fn        func()
-	cancelled bool
-	index     int // heap index, -1 once popped or removed
+	at  uint64
+	seq uint64
+
+	fn    func()
+	fnArg func(any)
+	arg   any
+	proc  *Proc
+
+	gen   uint32 // bumped on release; Handles carry the gen they were issued at
+	index int32  // heap position, -1 while not queued
+	next  *Event // free-list link while released
 }
 
-// Time returns the simulation time at which the event is scheduled to fire.
-func (ev *Event) Time() uint64 { return ev.at }
+// Handle is a cancellable reference to a scheduled event. The zero Handle is
+// valid and refers to no event. Handles are plain values: copying one copies
+// the reference, and a Handle outliving its event (because the event fired,
+// was cancelled, or its slot was recycled) is safe — it merely stops being
+// Pending.
+type Handle struct {
+	ev  *Event
+	gen uint32
+}
 
-// Cancelled reports whether Cancel has been called on the event.
-func (ev *Event) Cancelled() bool { return ev.cancelled }
+// Pending reports whether the event is still queued and will fire. It is
+// false for the zero Handle, after the event fires or is cancelled, and for
+// a stale handle whose event slot has been recycled.
+func (h Handle) Pending() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.index >= 0
+}
 
-// Pending reports whether the event is still queued and will fire.
-func (ev *Event) Pending() bool { return !ev.cancelled && ev.index >= 0 }
-
-// eventHeap is a min-heap of events ordered by (at, seq). The seq tiebreak
-// makes pop order — and therefore the whole simulation — deterministic.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Time returns the simulation time at which the event will fire, or 0 if the
+// handle is no longer pending.
+func (h Handle) Time() uint64 {
+	if !h.Pending() {
+		return 0
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
-
-// remove deletes the event at index i in O(log n).
-func (h *eventHeap) remove(i int) {
-	heap.Remove(h, i)
+	return h.ev.at
 }

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+	"testing/quick"
+)
+
+// refItem / refHeap are a reference priority queue built on the standard
+// library's container/heap with the same (at, seq) order, used to check the
+// specialized 4-ary eventHeap pop-for-pop.
+type refItem struct {
+	at, seq uint64
+	idx     int
+}
+
+type refHeap []*refItem
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *refHeap) Push(x any) {
+	it := x.(*refItem)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	it := old[n]
+	old[n] = nil
+	*h = old[:n]
+	return it
+}
+
+// pair is a popped (at, seq) observation.
+type pair struct{ at, seq uint64 }
+
+// diffRig drives an eventHeap and the reference heap through the same
+// operation stream, comparing every pop.
+type diffRig struct {
+	t    *testing.T
+	ours eventHeap
+	ref  refHeap
+	// live events by insertion order, for deterministic cancel targeting.
+	live []struct {
+		ev *Event
+		it *refItem
+	}
+	seq uint64
+}
+
+func (r *diffRig) push(at uint64) {
+	ev := &Event{at: at, seq: r.seq}
+	it := &refItem{at: at, seq: r.seq}
+	r.seq++
+	r.ours.push(ev)
+	heap.Push(&r.ref, it)
+	r.live = append(r.live, struct {
+		ev *Event
+		it *refItem
+	}{ev, it})
+}
+
+func (r *diffRig) cancel(k int) {
+	if len(r.live) == 0 {
+		return
+	}
+	k %= len(r.live)
+	e := r.live[k]
+	r.live = append(r.live[:k], r.live[k+1:]...)
+	r.ours.remove(int(e.ev.index))
+	heap.Remove(&r.ref, e.it.idx)
+}
+
+// pop pops both heaps and reports whether they agreed.
+func (r *diffRig) pop() bool {
+	if len(r.live) == 0 {
+		return true
+	}
+	ev := r.ours.pop()
+	it := heap.Pop(&r.ref).(*refItem)
+	for i, e := range r.live {
+		if e.ev == ev {
+			r.live = append(r.live[:i], r.live[i+1:]...)
+			break
+		}
+	}
+	if ev.at != it.at || ev.seq != it.seq {
+		if r.t != nil {
+			r.t.Errorf("pop mismatch: ours (at=%d seq=%d), ref (at=%d seq=%d)",
+				ev.at, ev.seq, it.at, it.seq)
+		}
+		return false
+	}
+	return true
+}
+
+func (r *diffRig) drain() bool {
+	for len(r.live) > 0 {
+		if !r.pop() {
+			return false
+		}
+	}
+	return r.ours.len() == 0 && r.ref.Len() == 0
+}
+
+// TestHeapDifferentialRandom runs long randomized schedule/cancel/pop
+// workloads from fixed seeds and requires the specialized heap to pop in
+// exactly the reference (at, seq) order.
+func TestHeapDifferentialRandom(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 42, 12345} {
+		rng := NewRand(seed)
+		r := &diffRig{t: t}
+		now := uint64(0)
+		for op := 0; op < 20_000; op++ {
+			switch rng.Uint64n(10) {
+			case 0, 1, 2, 3, 4, 5:
+				// Delays cluster small so same-time ties are common and the
+				// seq tiebreak actually gets exercised.
+				r.push(now + rng.Uint64n(16))
+			case 6, 7:
+				r.cancel(int(rng.Uint64n(64)))
+			default:
+				if head := r.ours.peek(); head != nil {
+					now = head.at
+				}
+				if !r.pop() {
+					t.Fatalf("seed %d: diverged at op %d", seed, op)
+				}
+			}
+		}
+		if !r.drain() {
+			t.Fatalf("seed %d: drain diverged or heaps out of sync", seed)
+		}
+	}
+}
+
+// TestHeapDifferentialQuick drives the same comparison from
+// testing/quick-generated operation streams: each op pushes (with a small
+// delay from its low bits), cancels, or pops.
+func TestHeapDifferentialQuick(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		r := &diffRig{}
+		now := uint64(0)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1:
+				r.push(now + uint64(op>>2)%32)
+			case 2:
+				r.cancel(int(op >> 2))
+			default:
+				if head := r.ours.peek(); head != nil {
+					now = head.at
+				}
+				if !r.pop() {
+					return false
+				}
+			}
+		}
+		return r.drain()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHeapIndexInvariant checks that every queued event's index matches its
+// slot after arbitrary middle removals — the property Cancel depends on.
+func TestHeapIndexInvariant(t *testing.T) {
+	rng := NewRand(9)
+	var h eventHeap
+	var live []*Event
+	for op := 0; op < 5_000; op++ {
+		if rng.Uint64n(3) > 0 || len(live) == 0 {
+			ev := &Event{at: rng.Uint64n(1000), seq: uint64(op)}
+			h.push(ev)
+			live = append(live, ev)
+		} else {
+			k := int(rng.Uint64n(uint64(len(live))))
+			ev := live[k]
+			live = append(live[:k], live[k+1:]...)
+			h.remove(int(ev.index))
+			if ev.index != -1 {
+				t.Fatal("removed event still claims a slot")
+			}
+		}
+		for i, ev := range h.a {
+			if int(ev.index) != i {
+				t.Fatalf("op %d: slot %d holds event with index %d", op, i, ev.index)
+			}
+		}
+	}
+}

@@ -7,12 +7,20 @@ import "fmt"
 // handed it back by events scheduled through the engine. Exactly one proc or
 // the engine loop executes at any moment, so proc code needs no locking.
 type Proc struct {
-	eng    *Engine
-	name   string
-	resume chan struct{}
-	parked chan struct{}
-	done   bool
-	wake   *Event // pending wake event, if any (Sleep/WakeAfter bookkeeping)
+	eng  *Engine
+	name string
+	// baton is the single rendezvous channel of the handoff protocol: the
+	// engine sends to grant the baton and then receives to take it back;
+	// the proc mirrors that. Because exactly one side executes at a time,
+	// one unbuffered channel serves both directions.
+	baton chan struct{}
+	done  bool
+	wake  Handle // pending wake event, if any (Sleep/WakeAfter bookkeeping)
+	// chained marks a proc that parked but is resuming inline: it is either
+	// running the engine loop itself or blocked inside an inline dispatch it
+	// issued (see park). Its baton must not be poked until the chain unwinds
+	// back to it, because it is not listening on it.
+	chained bool
 
 	// Tag is free for higher layers (e.g. the CPU scheduler) to attach
 	// identity to a proc; the engine never touches it.
@@ -24,20 +32,19 @@ type Proc struct {
 // and wake other procs, and it holds the baton until it yields or returns.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
-		eng:    e,
-		name:   name,
-		resume: make(chan struct{}),
-		parked: make(chan struct{}),
+		eng:   e,
+		name:  name,
+		baton: make(chan struct{}),
 	}
 	e.live++
 	go func() {
-		<-p.resume
+		<-p.baton
 		fn(p)
 		p.done = true
 		e.live--
-		p.parked <- struct{}{}
+		p.baton <- struct{}{}
 	}()
-	p.wake = e.Schedule(0, func() { e.dispatch(p) })
+	p.wake = e.scheduleProc(0, p)
 	return p
 }
 
@@ -50,23 +57,84 @@ func (e *Engine) dispatch(p *Proc) {
 	if p.done {
 		panic(fmt.Sprintf("sim: dispatch of finished proc %s", p.name))
 	}
-	p.wake = nil
+	p.wake = Handle{}
 	e.current = p
-	p.resume <- struct{}{}
-	<-p.parked
+	p.baton <- struct{}{}
+	<-p.baton
 	e.current = nil
 }
 
-// park yields the baton back to whatever dispatched this proc and blocks
-// until the next dispatch.
+// park yields the baton and blocks until the next wake.
+//
+// Fast path: instead of bouncing the baton back through its dispatcher, the
+// parking proc keeps running the engine loop itself — popping events in
+// exactly the (at, seq) order the engine loop would use. Plain callbacks run
+// inline (with current == nil, as in engine context); the proc's own wake
+// resumes it on the spot with zero channel operations; and a wake for
+// another really-parked proc is dispatched directly, one goroutine handoff
+// where the engine-mediated route costs two. The procs form a dispatch
+// chain (engine → a → b → ...): each link is blocked in its inline dispatch
+// waiting for the baton of the proc below, and the deepest proc is the one
+// acting as the engine.
+//
+// The one event the acting proc must not handle itself is a wake for a proc
+// marked chained — an ancestor in the chain, which is blocked on its
+// child's baton, not its own. The actor leaves that event queued and falls
+// back to the real handoff, which unwinds the chain link by link (each
+// ancestor re-checks the same head event) until it reaches the woken proc,
+// whose own loop pops the event and resumes. Stop, a reached time limit and
+// an empty queue unwind the same way, so Engine.Run regains control with
+// every proc really parked. Dispatch order and callback context are
+// identical to the engine-mediated path throughout — only which goroutine
+// executes the loop changes.
 func (p *Proc) park() {
-	if p.eng.current != p {
+	e := p.eng
+	if e.current != p {
 		panic(fmt.Sprintf("sim: %s parking without the baton", p.name))
 	}
-	p.eng.current = nil
-	p.parked <- struct{}{}
-	<-p.resume
-	p.eng.current = p
+	e.current = nil
+	p.chained = true
+	for !e.stopped {
+		ev := e.heap.peek()
+		if ev == nil {
+			break
+		}
+		if e.Limit != 0 && ev.at > e.Limit {
+			break
+		}
+		if q := ev.proc; q != nil && q != p && q.chained {
+			break // wake for an ancestor: unwind the chain to it
+		}
+		e.heap.pop()
+		if ev.at < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = ev.at
+		e.events.Inc()
+		if q := ev.proc; q != nil {
+			e.release(ev)
+			if q == p {
+				// Our own wake: resume in place, mirroring dispatch's
+				// bookkeeping (clear the wake handle, retake the baton).
+				p.wake = Handle{}
+				p.chained = false
+				e.current = p
+				return
+			}
+			e.dispatch(q)
+		} else if fn := ev.fn; fn != nil {
+			e.release(ev)
+			fn()
+		} else {
+			fn, arg := ev.fnArg, ev.arg
+			e.release(ev)
+			fn(arg)
+		}
+	}
+	p.chained = false
+	p.baton <- struct{}{}
+	<-p.baton
+	e.current = p
 }
 
 // Park blocks the proc until some event wakes it via Engine.Wake or
@@ -105,32 +173,34 @@ func (p *Proc) Now() uint64 { return p.eng.now }
 // the only way code outside a proc hands it the baton. Waking a proc that
 // already has a pending wake is a bug in the caller and panics, because a
 // double dispatch would corrupt the baton protocol.
-func (e *Engine) Wake(p *Proc) *Event {
+func (e *Engine) Wake(p *Proc) Handle {
 	return e.WakeAfter(p, 0)
 }
 
 // WakeAfter schedules p to be dispatched after delay cycles and returns the
-// event so the caller may cancel it (the basis of preemptible sleeps).
-func (e *Engine) WakeAfter(p *Proc, delay uint64) *Event {
-	if p.wake != nil && p.wake.Pending() {
+// event handle so the caller may cancel it (the basis of preemptible
+// sleeps). The wake is carried by the event's proc field, not a closure, so
+// this path does not allocate.
+func (e *Engine) WakeAfter(p *Proc, delay uint64) Handle {
+	if p.wake.Pending() {
 		panic(fmt.Sprintf("sim: proc %s woken twice", p.name))
 	}
-	ev := e.Schedule(delay, func() { e.dispatch(p) })
-	p.wake = ev
-	return ev
+	h := e.scheduleProc(delay, p)
+	p.wake = h
+	return h
 }
 
 // CancelWake cancels p's pending wake, if any, and reports whether a pending
 // wake existed. After a successful CancelWake the caller owns the
 // responsibility of waking p again.
 func (e *Engine) CancelWake(p *Proc) bool {
-	if p.wake != nil && p.wake.Pending() {
+	if p.wake.Pending() {
 		e.Cancel(p.wake)
-		p.wake = nil
+		p.wake = Handle{}
 		return true
 	}
 	return false
 }
 
 // HasPendingWake reports whether p has a wake event queued.
-func (p *Proc) HasPendingWake() bool { return p.wake != nil && p.wake.Pending() }
+func (p *Proc) HasPendingWake() bool { return p.wake.Pending() }

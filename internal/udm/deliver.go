@@ -39,7 +39,9 @@ func (ep *EP) extract(t *cpu.Task, perWordCost uint64) *Msg {
 	if n < 2 {
 		panic(fmt.Sprintf("udm: malformed message of %d words", n))
 	}
-	m := &Msg{Handler: p.MsgWord(1), Fast: fast, Args: make([]uint64, n-2)}
+	m := ep.getMsg(n - 2)
+	m.Handler = p.MsgWord(1)
+	m.Fast = fast
 	for i := range m.Args {
 		m.Args[i] = p.MsgWord(2 + i)
 	}
@@ -58,7 +60,8 @@ func (ep *EP) extract(t *cpu.Task, perWordCost uint64) *Msg {
 	return m
 }
 
-// run dispatches the message to its registered handler.
+// run dispatches the message to its registered handler, then recycles the
+// Msg and Env: both are handler-call-scoped (see Msg).
 func (ep *EP) run(t *cpu.Task, m *Msg) {
 	h, ok := ep.handlers[m.Handler]
 	if !ok {
@@ -66,8 +69,42 @@ func (ep *EP) run(t *cpu.Task, m *Msg) {
 	}
 	ep.Delivered++
 	ep.mDelivered.Inc()
-	h(&Env{T: t, EP: ep, inHandler: true}, m)
+	e := ep.getEnv()
+	e.T = t
+	e.inHandler = true
+	h(e, m)
+	ep.putEnv(e)
+	ep.putMsg(m)
 }
+
+// getMsg pops a recycled Msg (or makes one) with Args sized to nArgs.
+func (ep *EP) getMsg(nArgs int) *Msg {
+	if n := len(ep.msgFree); n > 0 {
+		m := ep.msgFree[n-1]
+		ep.msgFree = ep.msgFree[:n-1]
+		if cap(m.Args) >= nArgs {
+			m.Args = m.Args[:nArgs]
+		} else {
+			m.Args = make([]uint64, nArgs)
+		}
+		m.Bulk = false
+		return m
+	}
+	return &Msg{Args: make([]uint64, nArgs)}
+}
+
+func (ep *EP) putMsg(m *Msg) { ep.msgFree = append(ep.msgFree, m) }
+
+func (ep *EP) getEnv() *Env {
+	if n := len(ep.envFree); n > 0 {
+		e := ep.envFree[n-1]
+		ep.envFree = ep.envFree[:n-1]
+		return e
+	}
+	return &Env{EP: ep}
+}
+
+func (ep *EP) putEnv(e *Env) { ep.envFree = append(ep.envFree, e) }
 
 // deliverInterrupt is the fast-path interrupt receive of Table 4: stub
 // overhead, atomic handler execution, cleanup.

@@ -29,6 +29,11 @@ type Handler func(e *Env, m *Msg)
 // Msg is one extracted message. The wrapper has already read the words out
 // of the network interface (or the buffered copy) and disposed the message,
 // so handlers are free to inject.
+//
+// A Msg passed to a Handler (and the Env alongside it) is valid only for
+// the duration of the call: the runtime recycles both once the handler
+// returns. Handlers that need the payload later must copy Args. Messages
+// returned by Peek are not recycled.
 type Msg struct {
 	Handler uint64   // handler address word
 	Args    []uint64 // payload words
@@ -63,6 +68,14 @@ type EP struct {
 	// Bulk-transfer reassembly state.
 	bulk     map[uint64]*bulkXfer
 	nextXfer uint32
+
+	// Free lists recycling the per-delivery Msg and Env objects (valid only
+	// for the handler call, see Msg). Plain LIFO stacks: deliveries nest
+	// (a handler that faults or polls can trigger another delivery before
+	// its own Msg is released) and interleave across tasks, and a free list
+	// only needs release-once discipline to stay correct.
+	msgFree []*Msg
+	envFree []*Env
 
 	// Statistics.
 	Sent          uint64
@@ -158,10 +171,11 @@ func (ep *EP) inject(t *cpu.Task, dst int, handler uint64, args []uint64) {
 func (ep *EP) injectReady(t *cpu.Task, dst int, handler uint64, args []uint64) {
 	ni := ep.p.NI()
 	t.Spend(ep.cost.SendCost(len(args)))
-	words := make([]uint64, 0, len(args)+2)
-	words = append(words, nic.MakeHeader(dst), handler)
-	words = append(words, args...)
-	ni.Describe(words...)
+	// Two Describe stores rather than assembling a temporary slice: the
+	// descriptor buffer copies the words, so the variadic args stay on the
+	// caller's stack and inject performs no per-message allocation here.
+	ni.Describe(nic.MakeHeader(dst), handler)
+	ni.Describe(args...)
 	if trap := ni.Launch(false); trap != nic.TrapNone {
 		panic(fmt.Sprintf("udm: launch trapped %v", trap))
 	}
