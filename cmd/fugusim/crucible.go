@@ -1,0 +1,102 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"fugu/internal/harness"
+)
+
+// crucibleCmd implements `fugusim crucible`: run the fault-injection sweep
+// (every named fault plan × -trials seeds) and enforce its delivery oracles.
+// Exit status 0 means every oracle passed and every second-case cause —
+// GID mismatch, atomicity timeout, handler page fault, quantum expiry,
+// buffer overflow — was forced at least once somewhere in the sweep;
+// 1 means an oracle violation or a coverage hole.
+func crucibleCmd(args []string) {
+	fs := flag.NewFlagSet("crucible", flag.ExitOnError)
+	full := fs.Bool("full", false, "run the paper-scale workload (slow)")
+	trials := fs.Int("trials", 1, "trials (seeds) per fault plan")
+	seed := fs.Uint64("seed", 1, "base random seed (trial t runs at seed+t)")
+	jobs := fs.Int("j", 0, "worker-pool size for sweep points (default: GOMAXPROCS)")
+	csvDir := fs.String("csv", "", "also write the sweep as crucible.csv into this directory")
+	listPts := fs.Bool("list", false, "list the sweep points and exit")
+	progress := fs.Bool("progress", false, "report each completed sweep point on stderr")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fugusim crucible [flags]\n")
+		fs.PrintDefaults()
+	}
+	if names := parseInterleaved(fs, args); len(names) != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	opts := []harness.Option{
+		harness.WithSeed(*seed), harness.WithTrials(*trials),
+		harness.WithParallelism(*jobs),
+	}
+	if *full {
+		opts = append(opts, harness.WithFull())
+	} else {
+		opts = append(opts, harness.WithQuick())
+	}
+	if *listPts {
+		_, pts, _, err := resolvePoint("crucible", -1, harness.NewOptions(opts...))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
+			os.Exit(2)
+		}
+		listPoints(os.Stdout, pts)
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	runner := &harness.Runner{}
+	if *progress {
+		runner.Progress = func(p harness.Progress) {
+			status := "ok"
+			if p.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "%s: %d/%d %s %s\n", p.Experiment, p.Done, p.Total, p.Label, status)
+		}
+	}
+	exp, _ := harness.Lookup("crucible")
+	start := time.Now()
+	res, err := runner.Run(ctx, exp, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: crucible: %v\n", err)
+		os.Exit(1)
+	}
+	res.Print(os.Stdout)
+	fmt.Printf("(crucible took %.1fs)\n", time.Since(start).Seconds())
+	cres := res.(harness.CrucibleResult)
+	if *csvDir != "" {
+		for file, content := range cres.CSVFiles() {
+			if err := harness.WriteCSV(*csvDir, file, content); err != nil {
+				fmt.Fprintf(os.Stderr, "fugusim: csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	failed := false
+	if problems := cres.Problems(); len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "fugusim: crucible: %d oracle violation(s)\n", len(problems))
+		failed = true
+	}
+	for cause, hit := range cres.CauseCoverage() {
+		if !hit {
+			fmt.Fprintf(os.Stderr, "fugusim: crucible: cause %q never forced\n", cause)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

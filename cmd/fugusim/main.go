@@ -8,6 +8,7 @@
 //	fugusim run [flags] <experiment>... | all
 //	fugusim trace [flags] <experiment>
 //	fugusim doctor [flags] <experiment>
+//	fugusim crucible [flags]
 //
 // Experiments are discovered from the harness registry (`fugusim list`
 // prints them). Sweep points and trials fan out across -j workers; results
@@ -23,7 +24,10 @@
 // (chrome://tracing, Perfetto) or JSON Lines. `doctor` replays one sweep
 // point under the message-lifecycle span recorder and the liveness
 // watchdog, then checks delivery invariants; a wedged run terminates with
-// a diagnostic report (exit status 3) instead of hanging.
+// a diagnostic report (exit status 3) instead of hanging. `crucible` runs
+// the deterministic fault-injection sweep — every named fault plan across
+// -trials seeds — and fails unless every delivery oracle passes and every
+// second-case cause was forced at least once.
 //
 // Quick mode (default) scales workloads down so the whole suite runs in
 // minutes; -full uses the paper's sizes. This command is the only place
@@ -66,6 +70,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  fugusim bench [flags]\n")
 		fmt.Fprintf(os.Stderr, "  fugusim trace [flags] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "  fugusim doctor [flags] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "  fugusim crucible [flags]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", harness.Names())
 		flag.PrintDefaults()
 	}
@@ -88,6 +93,9 @@ func main() {
 		return
 	case "doctor":
 		doctorCmd(flag.Args()[1:])
+		return
+	case "crucible":
+		crucibleCmd(flag.Args()[1:])
 		return
 	case "run":
 		// Flags may also follow the subcommand and the experiment names:
@@ -323,6 +331,7 @@ func doctorCmd(args []string) {
 	interval := fs.Uint64("interval", 200_000, "watchdog check interval in cycles")
 	grace := fs.Int("grace", 5, "consecutive stale watchdog checks before firing (stall threshold = interval*grace)")
 	out := fs.String("o", "-", "also write the report/diagnosis to this path (- means stdout only)")
+	force := fs.Bool("force", false, "overwrite an existing -o report file")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fugusim doctor [flags] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", harness.Names())
@@ -356,6 +365,13 @@ func doctorCmd(args []string) {
 		return
 	}
 
+	// Refuse a clobbering -o before the replay, not after: a long run that
+	// ends by destroying the previous diagnosis is the worst failure order.
+	if err := prepareOutputPath(*out, *force); err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
+		os.Exit(2)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	pt := *sel
@@ -370,12 +386,6 @@ func doctorCmd(args []string) {
 	emit := func(text string) {
 		fmt.Print(text)
 		if *out != "-" {
-			if dir := filepath.Dir(*out); dir != "." {
-				if werr := os.MkdirAll(dir, 0o755); werr != nil {
-					fmt.Fprintf(os.Stderr, "fugusim: %v\n", werr)
-					os.Exit(1)
-				}
-			}
 			if werr := os.WriteFile(*out, []byte(text), 0o644); werr != nil {
 				fmt.Fprintf(os.Stderr, "fugusim: %v\n", werr)
 				os.Exit(1)
@@ -411,6 +421,27 @@ func doctorCmd(args []string) {
 	}
 	emit(b.String())
 	os.Exit(1)
+}
+
+// prepareOutputPath vets a report destination before a long run: "-" (or
+// empty) means stdout and needs nothing; otherwise the parent directory is
+// created and an already-existing file is refused unless force is set, so a
+// replay can never silently destroy the previous diagnosis.
+func prepareOutputPath(path string, force bool) error {
+	if path == "-" || path == "" {
+		return nil
+	}
+	if _, err := os.Stat(path); err == nil {
+		if !force {
+			return fmt.Errorf("output file %s already exists (use -force to overwrite)", path)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		return os.MkdirAll(dir, 0o755)
+	}
+	return nil
 }
 
 // parseInterleaved parses flags that may appear before, between or after

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -37,5 +39,42 @@ func TestResolvePoint(t *testing.T) {
 	_, pts, sel, err = resolvePoint("crlstress", pointIndex(5, true), opt)
 	if err != nil || sel != nil || len(pts) == 0 {
 		t.Fatalf("list path: pts=%d sel=%v err=%v", len(pts), sel, err)
+	}
+}
+
+// TestPrepareOutputPath covers the doctor -o safety contract: stdout always
+// passes, a fresh path gets its directory created, an existing file is
+// refused without -force and preserved, and -force permits the overwrite.
+func TestPrepareOutputPath(t *testing.T) {
+	if err := prepareOutputPath("-", false); err != nil {
+		t.Errorf("stdout sentinel: %v", err)
+	}
+	if err := prepareOutputPath("", false); err != nil {
+		t.Errorf("empty path: %v", err)
+	}
+
+	dir := t.TempDir()
+	fresh := filepath.Join(dir, "sub", "report.txt")
+	if err := prepareOutputPath(fresh, false); err != nil {
+		t.Fatalf("fresh path: %v", err)
+	}
+	if fi, err := os.Stat(filepath.Dir(fresh)); err != nil || !fi.IsDir() {
+		t.Fatalf("parent directory not created: %v", err)
+	}
+
+	existing := filepath.Join(dir, "report.txt")
+	if err := os.WriteFile(existing, []byte("previous diagnosis"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := prepareOutputPath(existing, false)
+	if err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("existing file without force: err = %v, want refusal", err)
+	}
+	if got, _ := os.ReadFile(existing); string(got) != "previous diagnosis" {
+		t.Errorf("refusal clobbered the file: %q", got)
+	}
+
+	if err := prepareOutputPath(existing, true); err != nil {
+		t.Errorf("existing file with -force: %v", err)
 	}
 }

@@ -1,0 +1,189 @@
+package faultinject
+
+// Injector executes a Plan against one machine. It is bound to the
+// machine's clock (BindClock) so window checks read simulated time, and it
+// owns a private PCG stream seeded from the plan, so probability draws
+// never touch the engine RNG. Build one Injector per machine: the PCG
+// state mutates, so sharing one across concurrently-running machines would
+// race and break determinism.
+//
+// Every hook method is nil-safe: a nil *Injector reports "no fault"
+// without allocating, so the simulator's hot paths call hooks
+// unconditionally, exactly like the nil instruments of internal/metrics.
+type Injector struct {
+	plan  Plan
+	rng   pcg
+	nowFn func() uint64
+
+	counts [NumKinds]uint64
+	// windowOn latches the window kinds so each activation counts once,
+	// not once per query.
+	windowOn [NumKinds]bool
+}
+
+// New builds an injector for a copy of the plan.
+func New(plan Plan) *Injector {
+	return &Injector{plan: plan, rng: newPCG(plan.Seed)}
+}
+
+// BindClock installs the simulated-time source the window checks use.
+// glaze.NewMachine binds the engine's Now; before binding, time reads as 0.
+func (in *Injector) BindClock(now func() uint64) {
+	if in == nil {
+		return
+	}
+	in.nowFn = now
+}
+
+func (in *Injector) now() uint64 {
+	if in.nowFn == nil {
+		return 0
+	}
+	return in.nowFn()
+}
+
+// Plan returns the plan this injector executes.
+func (in *Injector) Plan() Plan {
+	if in == nil {
+		return Plan{}
+	}
+	return in.plan
+}
+
+// draw fires a probability-kind spec: if armed and applicable it consumes
+// one PCG draw and reports (Cycles, true) with probability Prob.
+func (in *Injector) draw(k Kind, node int) (uint64, bool) {
+	if in == nil {
+		return 0, false
+	}
+	s := &in.plan.Specs[k]
+	if s.Prob <= 0 || !s.appliesTo(node, in.now()) {
+		return 0, false
+	}
+	if in.rng.float64() >= s.Prob {
+		return 0, false
+	}
+	in.counts[k]++
+	return s.Cycles, true
+}
+
+// window evaluates a level-condition spec, counting each activation once.
+func (in *Injector) window(k Kind, node int) (uint64, bool) {
+	if in == nil {
+		return 0, false
+	}
+	s := &in.plan.Specs[k]
+	if !s.armed(k) || !s.appliesTo(node, in.now()) {
+		in.windowOn[k] = false
+		return 0, false
+	}
+	if !in.windowOn[k] {
+		in.windowOn[k] = true
+		in.counts[k]++
+	}
+	return s.Cycles, true
+}
+
+// ---------------------------------------------------------------------------
+// Hooks, one per injection site.
+
+// SendDelay returns extra network latency for a packet from src to dst:
+// a link stall at the sender plus hot-spot congestion at the receiver.
+// The mesh applies it to the main network only — the OS network keeps its
+// deadlock-free guarantee.
+func (in *Injector) SendDelay(src, dst int) uint64 {
+	if in == nil {
+		return 0
+	}
+	stall, _ := in.draw(LinkStall, src)
+	hot, _ := in.draw(HotSpot, dst)
+	return stall + hot
+}
+
+// ForceMismatch reports whether an arriving user packet at node should be
+// marked GID-mismatched, diverting it onto the buffered path.
+func (in *Injector) ForceMismatch(node int) bool {
+	_, ok := in.draw(GIDMismatch, node)
+	return ok
+}
+
+// ForceTimeout reports whether a user packet's arrival at node should fire
+// the atomicity-timeout interrupt. The kernel's timeout ISR already
+// tolerates spurious raises (no resident process, or mode already
+// shifted), so the hook models a hair-trigger timer safely.
+func (in *Injector) ForceTimeout(node int) bool {
+	_, ok := in.draw(AtomicityTimeout, node)
+	return ok
+}
+
+// HandlerFault reports whether this handler dispatch at node should take a
+// synthetic page fault (glaze.Kernel.SyntheticHandlerFault).
+func (in *Injector) HandlerFault(node int) bool {
+	_, ok := in.draw(HandlerPageFault, node)
+	return ok
+}
+
+// QuantumExpiry reports whether the resident process at node should be
+// preempted now, and for how many cycles, modelling a quantum boundary
+// landing mid-handler.
+func (in *Injector) QuantumExpiry(node int) (resumeAfter uint64, ok bool) {
+	return in.draw(QuantumExpiry, node)
+}
+
+// DMAStall returns extra drain time for one output-buffer launch at node.
+func (in *Injector) DMAStall(node int) uint64 {
+	d, _ := in.draw(DMAStall, node)
+	return d
+}
+
+// GangSkew returns extra delay before node's next gang-scheduler tick.
+func (in *Injector) GangSkew(node int) uint64 {
+	d, _ := in.draw(GangSkew, node)
+	return d
+}
+
+// OutputClamp returns the space-available clamp (in words) while a
+// TinyWindow spec is active at node.
+func (in *Injector) OutputClamp(node int) (words int, ok bool) {
+	c, ok := in.window(TinyWindow, node)
+	return int(c), ok
+}
+
+// WithheldFrames returns how many frames the plan wants held out of node's
+// pool right now (zero outside the FrameStarvation window).
+func (in *Injector) WithheldFrames(node int) int {
+	c, _ := in.window(FrameStarvation, node)
+	return int(c)
+}
+
+// ---------------------------------------------------------------------------
+// Accounting
+
+// Count returns how many times kind k fired (window kinds count one per
+// activation, not per query).
+func (in *Injector) Count(k Kind) uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.counts[k]
+}
+
+// Counts returns the per-kind fire counts.
+func (in *Injector) Counts() [NumKinds]uint64 {
+	if in == nil {
+		return [NumKinds]uint64{}
+	}
+	return in.counts
+}
+
+// Total returns the total fires across all kinds.
+func (in *Injector) Total() uint64 {
+	if in == nil {
+		return 0
+	}
+	var t uint64
+	for _, c := range in.counts {
+		t += c
+	}
+	return t
+}

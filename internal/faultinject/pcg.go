@@ -1,0 +1,44 @@
+package faultinject
+
+// pcg is a PCG-XSH-RR 64/32 generator (O'Neill 2014): 64-bit LCG state,
+// 32-bit output via xorshift-high + random rotation. It is the injector's
+// private randomness stream, deliberately a different family from the
+// engine's xorshift64* so the two cannot be conflated: fault draws consume
+// zero machine randomness and fault-free runs stay bit-identical.
+type pcg struct {
+	state uint64
+	inc   uint64 // stream selector; must be odd
+}
+
+// pcgMult is the canonical PCG 64-bit LCG multiplier.
+const pcgMult = 6364136223846793005
+
+// pcgDefaultSeq is the reference implementation's default stream selector.
+const pcgDefaultSeq uint64 = 0xda3e39cb94b95bdb
+
+// newPCG seeds the generator on the default stream, matching the reference
+// pcg32_srandom sequence.
+func newPCG(seed uint64) pcg {
+	seq := pcgDefaultSeq // shift wraps at runtime; as a constant it would overflow
+	p := pcg{inc: seq<<1 | 1}
+	p.next()
+	p.state += seed
+	p.next()
+	return p
+}
+
+// next returns the next 32 random bits.
+func (p *pcg) next() uint32 {
+	old := p.state
+	p.state = old*pcgMult + p.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// float64 returns a uniform value in [0, 1) with 53 random bits.
+func (p *pcg) float64() float64 {
+	hi := uint64(p.next())
+	lo := uint64(p.next())
+	return float64(((hi<<32)|lo)>>11) / (1 << 53)
+}

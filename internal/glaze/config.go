@@ -1,6 +1,7 @@
 package glaze
 
 import (
+	"fugu/internal/faultinject"
 	"fugu/internal/spans"
 	"fugu/internal/trace"
 )
@@ -55,6 +56,13 @@ func WithMachineSeed(seed uint64) ConfigOption {
 // messages (see DESIGN.md).
 func WithOutputWords(words int) ConfigOption {
 	return func(c *Config) { c.NIConfig.OutputWords = words }
+}
+
+// WithFaults arms a deterministic fault injector executing the plan. Faults
+// draw from their own PCG stream, so a machine with a disarmed plan stays
+// bit-identical to one with no plan at all.
+func WithFaults(plan *faultinject.Plan) ConfigOption {
+	return func(c *Config) { c.Faults = plan }
 }
 
 // NewConfig returns DefaultConfig with the given options applied.

@@ -102,7 +102,9 @@ func (g *Gang) tick(node int) {
 	if p == nil {
 		g.mTicksNull.Inc()
 	}
-	g.m.Eng.Schedule(g.quantum, g.tickFns[node])
+	// A gang-skew fault widens this node's mis-scheduling window by
+	// delaying its next tick.
+	g.m.Eng.Schedule(g.quantum+g.m.Faults.GangSkew(node), g.tickFns[node])
 }
 
 // Prefer advises the scheduler to co-schedule job (overflow control).

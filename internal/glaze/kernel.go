@@ -48,6 +48,10 @@ type Kernel struct {
 
 	osQueue []*mesh.Packet
 
+	// starvedFrames counts frames currently withheld from the pool by a
+	// fault-plan FrameStarvation window.
+	starvedFrames int
+
 	// Statistics.
 	Inserts        uint64 // buffer insertions performed
 	InsertVMAllocs uint64
@@ -159,7 +163,7 @@ func (k *Kernel) mismatchISR(t *cpu.Task) {
 			return
 		}
 		h := pkt.Words[0]
-		if !k.ni.Divert() && !nic.HeaderIsKernel(h) && nic.HeaderGID(h) == k.ni.GID() {
+		if !k.ni.Divert() && !nic.HeaderIsKernel(h) && nic.HeaderGID(h) == k.ni.GID() && !pkt.FaultMismatch {
 			// The head now belongs to the resident user: theirs to take.
 			return
 		}
@@ -191,10 +195,13 @@ func (k *Kernel) mismatchISR(t *cpu.Task) {
 // bufferInsert copies one message into p's virtual buffer, charging the
 // Table 5 costs, and performs the overflow-control checks.
 func (k *Kernel) bufferInsert(t *cpu.Task, p *Process, pkt *mesh.Packet) {
+	k.applyFrameStarvation()
 	if k.m.Spans != nil {
 		cause := "gid-mismatch"
 		if k.ni.Divert() {
 			cause = "divert"
+		} else if pkt.FaultMismatch {
+			cause = "gid-mismatch(injected)"
 		}
 		k.m.Spans.Insert(k.m.Eng.Now(), pkt.ID, k.node, cause)
 	}
@@ -331,6 +338,7 @@ func (k *Kernel) UserDispose(t *cpu.Task, p *Process) {
 // side effect of the hardware dispose: dispose-pending clears, so a handler
 // that freed its message through the emulation can exit its atomic section.
 func (k *Kernel) disposeExtend(t *cpu.Task, p *Process) {
+	k.applyFrameStarvation()
 	k.ni.SetUACKernel(nic.UACDisposePending, false)
 	meta := p.buf.pop()
 	k.m.Spans.End(k.m.Eng.Now(), meta.id, k.node, spans.TermBuffered)
@@ -401,6 +409,7 @@ func (k *Kernel) exitBuffered(t *cpu.Task, p *Process) {
 // fault there forces the transition to buffered mode (Section 4.3), since
 // the handler blocks the network while the kernel services it.
 func (k *Kernel) Touch(t *cpu.Task, p *Process, addr uint64, inHandler bool) {
+	k.applyFrameStarvation()
 	faulted, ok := p.Space.Ensure(addr)
 	if !faulted {
 		return
@@ -421,6 +430,82 @@ func (k *Kernel) Touch(t *cpu.Task, p *Process, addr uint64, inHandler bool) {
 			k.ni.SetDivert(true)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection entry points (driven by the machine's faultinject plan)
+
+// SyntheticHandlerFault models a page fault taken inside a message handler
+// without touching any page: the kernel charges fault service and shifts the
+// process to buffered mode exactly as a real in-handler fault would
+// (Section 4.3).
+func (k *Kernel) SyntheticHandlerFault(t *cpu.Task, p *Process) {
+	t.Spend(k.cost.FaultService)
+	p.FaultsInHandler++
+	k.mFaultsInHandler.Inc()
+	if !p.buffered {
+		p.buffered = true
+		k.mEnterFault.Inc()
+		k.m.Trace.Add(k.m.Eng.Now(), k.node, trace.Mode, "enter buffered %s (injected fault)", p.job.name)
+		p.atomicVirtual = true // the faulting handler holds atomicity
+		k.ni.SetUACKernel(nic.UACAtomicityExtend, true)
+		k.ni.SetDivert(true)
+	}
+}
+
+// ForceQuantumExpiry models a quantum boundary landing mid-handler: p is
+// preempted into the null slot now (messages arriving meanwhile mismatch
+// against the null GID and buffer) and switched back in resumeAfter cycles
+// later, unless a real gang tick got there first — the next real tick is the
+// liveness backstop either way.
+func (k *Kernel) ForceQuantumExpiry(p *Process, resumeAfter uint64) {
+	if p == nil || k.current != p {
+		return
+	}
+	k.m.Trace.Add(k.m.Eng.Now(), k.node, trace.Sched, "forced quantum expiry %s", p.job.name)
+	k.switchTarget = nil
+	k.switchValid = true
+	k.gangIRQ.Raise()
+	k.m.Eng.Schedule(resumeAfter, func() {
+		if k.current != nil || k.m.Eng.Stopped() {
+			return // a real tick already scheduled someone
+		}
+		k.switchTarget = p
+		k.switchValid = true
+		k.gangIRQ.Raise()
+	})
+}
+
+// starvationReserve is the free-frame floor applyFrameStarvation never takes
+// below: data-page faults must still find a frame, or the exhausted-pool
+// panic in Touch would fire on an injected condition rather than a real
+// overflow-control failure.
+const starvationReserve = 8
+
+// applyFrameStarvation reconciles the pool with the fault plan's withheld
+// target for this node. Called on the buffer-management paths, so the pool
+// shrinks while a starvation window is open and refills after it closes.
+func (k *Kernel) applyFrameStarvation() {
+	if k.m.Faults == nil {
+		return
+	}
+	want := k.m.Faults.WithheldFrames(k.node)
+	if want == k.starvedFrames {
+		return
+	}
+	if want > k.starvedFrames {
+		take := want - k.starvedFrames
+		if room := k.frames.Free() - starvationReserve; take > room {
+			take = room
+		}
+		if take > 0 {
+			k.starvedFrames += k.frames.Withhold(take)
+		}
+	} else {
+		k.frames.Unwithhold(k.starvedFrames - want)
+		k.starvedFrames = want
+	}
+	k.mFramesInUse.Set(int64(k.frames.InUse()))
 }
 
 // ---------------------------------------------------------------------------

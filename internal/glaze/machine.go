@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fugu/internal/cpu"
+	"fugu/internal/faultinject"
 	"fugu/internal/mesh"
 	"fugu/internal/metrics"
 	"fugu/internal/nic"
@@ -44,6 +45,12 @@ type Config struct {
 	// delivery progress and dumps a diagnostic report when the machine
 	// wedges. See WatchdogConfig.
 	Watchdog WatchdogConfig
+
+	// Faults, when non-nil, arms a deterministic fault injector executing
+	// the plan. The injector draws from its own PCG stream seeded by
+	// Faults.Seed, so the engine RNG sequence — and therefore every
+	// fault-free golden — is untouched even with a plan installed.
+	Faults *faultinject.Plan
 }
 
 // DefaultConfig returns the configuration the experiments use: eight nodes
@@ -96,6 +103,10 @@ type Machine struct {
 	// nothing); the watchdog installs one implicitly if enabled alone.
 	Spans *spans.Recorder
 
+	// Faults is the machine's fault injector, nil unless Config.Faults was
+	// set. Each machine gets its own injector (the PCG state mutates).
+	Faults *faultinject.Injector
+
 	watchdog *watchdog
 	diags    []Diagnostic
 
@@ -129,6 +140,11 @@ func NewMachine(cfg Config, opts ...ConfigOption) *Machine {
 	}
 	eng.UseMetrics(m.Metrics)
 	m.Net.UseMetrics(m.Metrics)
+	if cfg.Faults != nil {
+		m.Faults = faultinject.New(*cfg.Faults)
+		m.Faults.BindClock(eng.Now)
+		m.Net.UseFaults(m.Faults)
+	}
 	if m.Spans != nil {
 		m.Spans.AttachMachine()
 		m.Net.UseSpans(m.Spans)
@@ -145,6 +161,9 @@ func NewMachine(cfg Config, opts ...ConfigOption) *Machine {
 		node.NI = nic.New(eng, m.Net, i, cfg.NIConfig)
 		node.NI.AttachCPU(node.CPU)
 		node.NI.UseMetrics(node.Metrics)
+		if m.Faults != nil {
+			node.NI.UseFaults(m.Faults)
+		}
 		if m.Spans != nil {
 			node.NI.UseSpans(m.Spans)
 		}

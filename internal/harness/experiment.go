@@ -71,6 +71,7 @@ func init() {
 	register(fig9Experiment())
 	register(fig10Experiment())
 	register(crlStressExperiment())
+	register(crucibleExperiment())
 }
 
 // Experiments returns every registered experiment in registration order.

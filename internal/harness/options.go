@@ -3,6 +3,7 @@ package harness
 import (
 	"runtime"
 
+	"fugu/internal/faultinject"
 	"fugu/internal/glaze"
 	"fugu/internal/spans"
 	"fugu/internal/trace"
@@ -34,6 +35,11 @@ type Options struct {
 	// on every point machine; a stalled run stops with a diagnostic report
 	// instead of spinning forever.
 	Watchdog glaze.WatchdogConfig
+	// Faults, when non-nil, arms the deterministic fault injector on every
+	// point machine. Each machine builds its own injector from the plan, so
+	// parallel points stay independent; a disarmed plan is bit-identical to
+	// no plan at all.
+	Faults *faultinject.Plan
 }
 
 // Option configures an experiment run.
@@ -83,6 +89,12 @@ func WithWatchdog(wc glaze.WatchdogConfig) Option {
 	return optionFunc(func(o *Options) { o.Watchdog = wc })
 }
 
+// WithFaults arms a deterministic fault plan on every point machine (see
+// Options.Faults).
+func WithFaults(plan *faultinject.Plan) Option {
+	return optionFunc(func(o *Options) { o.Faults = plan })
+}
+
 // NewOptions resolves a full option set: the paper's defaults (full sizes,
 // 3 trials, seed 1) overlaid with the given options.
 func NewOptions(opts ...Option) Options {
@@ -129,7 +141,7 @@ func (o Options) trials() int { return max(1, o.Trials) }
 // Experiment points pass the result wherever a func(*glaze.Config) is
 // accepted, so options reach every machine without widening run signatures.
 func (o Options) machineMut(extra func(*glaze.Config)) func(*glaze.Config) {
-	if o.Trace == nil && o.Spans == nil && !o.Watchdog.Enabled() && extra == nil {
+	if o.Trace == nil && o.Spans == nil && !o.Watchdog.Enabled() && o.Faults == nil && extra == nil {
 		return nil
 	}
 	return func(cfg *glaze.Config) {
@@ -141,6 +153,9 @@ func (o Options) machineMut(extra func(*glaze.Config)) func(*glaze.Config) {
 		}
 		if o.Watchdog.Enabled() {
 			cfg.Watchdog = o.Watchdog
+		}
+		if o.Faults != nil {
+			cfg.Faults = o.Faults
 		}
 		if extra != nil {
 			extra(cfg)

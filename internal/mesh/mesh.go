@@ -14,6 +14,7 @@ package mesh
 import (
 	"fmt"
 
+	"fugu/internal/faultinject"
 	"fugu/internal/metrics"
 	"fugu/internal/sim"
 	"fugu/internal/spans"
@@ -48,6 +49,11 @@ type Packet struct {
 
 	SentAt    uint64 // injection time
 	ArrivedAt uint64 // time the packet reached the destination port
+
+	// FaultMismatch marks a packet whose GID the receiving NI must treat
+	// as mismatched regardless of the stamp (deterministic fault
+	// injection); the kernel still demultiplexes it by its real header.
+	FaultMismatch bool
 }
 
 // Len returns the packet length in words.
@@ -110,11 +116,20 @@ type Net struct {
 
 	// rec observes message lifecycles, nil (no-op) unless UseSpans is called.
 	rec *spans.Recorder
+
+	// inj adds fault-plan latency to main-network sends, nil (no-op)
+	// unless UseFaults is called.
+	inj *faultinject.Injector
 }
 
 // UseSpans installs a lifecycle recorder: every Send begins a span and
 // arrival/backpressure transitions are recorded against the packet ID.
 func (n *Net) UseSpans(rec *spans.Recorder) { n.rec = rec }
+
+// UseFaults installs a fault injector: main-network sends pick up link-stall
+// and hot-spot delays from the plan. The OS network is never delayed — its
+// deadlock-free guarantee is what overflow control and paging stand on.
+func (n *Net) UseFaults(inj *faultinject.Injector) { n.inj = inj }
 
 // UseMetrics binds the network's instruments into a registry: per-class
 // traffic counters ("mesh.<class>.packets", ".words", ".refused") and a
@@ -191,6 +206,11 @@ func (n *Net) Send(class Class, src, dst int, words []uint64) *Packet {
 	n.mPackets[class].Inc()
 	n.mWords[class].Add(uint64(len(words)))
 	at := n.eng.Now() + n.lat.Delay(n.Hops(src, dst), len(words))
+	if class == Main {
+		// Fault-plan congestion lands before the FIFO clamp below, so
+		// injected stalls can delay but never reorder a pair's traffic.
+		at += n.inj.SendDelay(src, dst)
+	}
 	// Same-route FIFO: a short packet sent after a long one queues behind
 	// it rather than overtaking (length-dependent latency must not reorder
 	// a pair's traffic).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fugu/internal/cpu"
+	"fugu/internal/faultinject"
 	"fugu/internal/mesh"
 	"fugu/internal/metrics"
 	"fugu/internal/sim"
@@ -127,12 +128,22 @@ type NI struct {
 
 	// rec observes message lifecycles, nil (no-op) unless UseSpans is called.
 	rec *spans.Recorder
+
+	// inj supplies arrival-time faults (forced mismatches and timeouts),
+	// output-window clamps and DMA stalls; nil (no-op) unless UseFaults is
+	// called.
+	inj *faultinject.Injector
 }
 
 // UseSpans installs a lifecycle recorder: input-queue acceptance and
 // fast-path disposal are recorded against the packet ID. Kernel disposals
 // are recorded by the glaze layer, which knows their cause.
 func (ni *NI) UseSpans(rec *spans.Recorder) { ni.rec = rec }
+
+// UseFaults installs a fault injector: arriving user packets may be forced
+// to mismatch or to fire the atomicity timeout, the space-available register
+// may be clamped, and output drains may be stretched, per the plan.
+func (ni *NI) UseFaults(inj *faultinject.Injector) { ni.inj = inj }
 
 // UseMetrics binds the NI's instruments into a registry: lifetime counters
 // mirroring Stats ("nic.arrived", ".refused", ".launched", ".disposed",
@@ -190,6 +201,16 @@ func (ni *NI) Arrive(pkt *mesh.Packet) bool {
 	if len(ni.in) == 1 {
 		ni.headSignaled = false
 	}
+	if ni.inj != nil && !HeaderIsKernel(pkt.Words[0]) {
+		if !pkt.FaultMismatch && ni.inj.ForceMismatch(ni.node) {
+			pkt.FaultMismatch = true
+		}
+		// A forced timeout models the timer expiring exactly at arrival;
+		// the kernel's timeout ISR tolerates spurious raises.
+		if ni.inj.ForceTimeout(ni.node) && ni.intr.AtomicityTimeout != nil {
+			ni.intr.AtomicityTimeout()
+		}
+	}
 	ni.evaluate()
 	return true
 }
@@ -206,7 +227,11 @@ func (ni *NI) headMatches() bool {
 	if ni.divert || len(ni.in) == 0 {
 		return false
 	}
-	h := ni.in[0].Words[0]
+	pkt := ni.in[0]
+	if pkt.FaultMismatch {
+		return false
+	}
+	h := pkt.Words[0]
 	return !HeaderIsKernel(h) && HeaderGID(h) == ni.gid
 }
 
@@ -318,7 +343,11 @@ func (ni *NI) SpaceAvailable() int {
 	if ni.eng.Now() < ni.outBusyTill {
 		return 0
 	}
-	return ni.cfg.OutputWords - len(ni.out)
+	avail := ni.cfg.OutputWords - len(ni.out)
+	if c, ok := ni.inj.OutputClamp(ni.node); ok && avail > c {
+		avail = c
+	}
+	return avail
 }
 
 // OutputReadyAt returns the time the output buffer finishes draining; the
@@ -374,8 +403,9 @@ func (ni *NI) Launch(kernelPriv bool) Trap {
 	ni.mLaunched.Inc()
 
 	// The output buffer drains at link rate; until then space-available
-	// reads zero and blocking stores stall.
-	drain := ni.cfg.DrainPerWord * uint64(len(words))
+	// reads zero and blocking stores stall. A DMA-stall fault holds the
+	// descriptor busy longer.
+	drain := ni.cfg.DrainPerWord*uint64(len(words)) + ni.inj.DMAStall(ni.node)
 	start := ni.eng.Now()
 	if ni.outBusyTill > start {
 		start = ni.outBusyTill

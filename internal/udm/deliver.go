@@ -72,6 +72,16 @@ func (ep *EP) run(t *cpu.Task, m *Msg) {
 	e := ep.getEnv()
 	e.T = t
 	e.inHandler = true
+	if ep.inj != nil {
+		// The message is already extracted and disposed, so neither fault
+		// can lose it; arrivals during the disruption mismatch and buffer.
+		if ep.inj.HandlerFault(ep.p.Node()) {
+			ep.p.Kernel().SyntheticHandlerFault(t, ep.p)
+		}
+		if d, ok := ep.inj.QuantumExpiry(ep.p.Node()); ok {
+			ep.p.Kernel().ForceQuantumExpiry(ep.p, d)
+		}
+	}
 	h(e, m)
 	ep.putEnv(e)
 	ep.putMsg(m)

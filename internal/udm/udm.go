@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"fugu/internal/cpu"
+	"fugu/internal/faultinject"
 	"fugu/internal/glaze"
 	"fugu/internal/metrics"
 	"fugu/internal/nic"
@@ -65,6 +66,11 @@ type EP struct {
 	cost     glaze.CostModel
 	handlers map[uint64]Handler
 
+	// inj is the machine's fault injector (nil on fault-free machines):
+	// handler dispatch is where synthetic page faults and forced quantum
+	// expiries land.
+	inj *faultinject.Injector
+
 	// Bulk-transfer reassembly state.
 	bulk     map[uint64]*bulkXfer
 	nextXfer uint32
@@ -95,6 +101,7 @@ func Attach(p *glaze.Process) *EP {
 		p:        p,
 		cost:     p.Kernel().Cost(),
 		handlers: make(map[uint64]Handler),
+		inj:      p.Kernel().Machine().Faults,
 	}
 	r := p.Metrics()
 	ep.mSent = r.Counter("udm.sent")

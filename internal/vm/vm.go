@@ -38,6 +38,32 @@ func (f *Frames) Free() int { return f.total - f.inUse }
 // HighWater returns the lifetime maximum of InUse.
 func (f *Frames) HighWater() int { return f.highWater }
 
+// Withhold takes up to n free frames out of circulation (fault-injected
+// frame starvation) and returns how many it actually took. Withheld frames
+// count as in use, so overflow control sees the shrunken pool.
+func (f *Frames) Withhold(n int) int {
+	free := f.total - f.inUse
+	if n > free {
+		n = free
+	}
+	if n < 0 {
+		n = 0
+	}
+	f.inUse += n
+	if f.inUse > f.highWater {
+		f.highWater = f.inUse
+	}
+	return n
+}
+
+// Unwithhold returns n previously withheld frames to the pool.
+func (f *Frames) Unwithhold(n int) {
+	if n > f.inUse {
+		panic("vm: unwithholding more frames than are in use")
+	}
+	f.inUse -= n
+}
+
 // alloc takes one frame, reporting false when the pool is exhausted.
 func (f *Frames) alloc() bool {
 	if f.inUse >= f.total {
