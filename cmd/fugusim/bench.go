@@ -34,9 +34,7 @@ type BenchRow struct {
 // the CI perf gate.
 func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	quick := fs.Bool("quick", false, "run the scaled-down workloads (the default; -full overrides)")
-	full := fs.Bool("full", false, "run the larger workloads (slower, steadier numbers)")
-	seed := fs.Uint64("seed", 1, "machine seed for every workload")
+	common := registerCommon(fs)
 	out := fs.String("o", "BENCH_4.json", "write the JSON report to this path (- for stdout only)")
 	baseline := fs.String("baseline", "", "compare against this committed report; exit 1 on regression")
 	maxRegress := fs.Float64("max-regress", 0.20, "tolerated fractional throughput drop vs -baseline")
@@ -50,10 +48,7 @@ func benchCmd(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
-	if *quick && *full {
-		fmt.Fprintln(os.Stderr, "fugusim: -quick and -full are mutually exclusive")
-		os.Exit(2)
-	}
+	common.resolve()
 	stopProf, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
@@ -62,36 +57,51 @@ func benchCmd(args []string) {
 	defer stopProf()
 
 	barrierN, crlOps := 2000, 20
-	if *full {
+	if *common.full {
 		barrierN, crlOps = 10000, 45
 	}
-	s := *seed
+	s := *common.seed
+	mut := common.configMut()
 
+	var crlOpts []harness.Option
+	if common.policy != nil {
+		crlOpts = append(crlOpts, harness.WithDeliveryPolicy(common.policy))
+	}
+	snaps := map[string]metrics.Snapshot{}
+	keep := func(name string, cycles uint64, snap metrics.Snapshot) (uint64, metrics.Snapshot) {
+		snaps[name] = snap
+		return cycles, snap
+	}
 	rows := []BenchRow{
 		measure("barrier", func() (uint64, metrics.Snapshot) {
-			rs := harness.RunStandalone(func() apps.Instance { return apps.NewBarrierApp(barrierN) }, s)
+			rs := harness.RunStandaloneMut(func() apps.Instance { return apps.NewBarrierApp(barrierN) }, s, mut)
 			mustOK("barrier", rs.Err)
-			return rs.Runtime, rs.Metrics
+			return keep("barrier", rs.Runtime, rs.Metrics)
 		}),
 		measure("synth", func() (uint64, metrics.Snapshot) {
 			rs := harness.RunMultiprogrammedQ(
 				func() apps.Instance { return apps.NewSynth(100, 20, 100) },
-				0, s, 50_000, nil)
+				0, s, 50_000, mut)
 			mustOK("synth", rs.Err)
-			return rs.Runtime, rs.Metrics
+			return keep("synth", rs.Runtime, rs.Metrics)
 		}),
 		measure("crlstress", func() (uint64, metrics.Snapshot) {
-			row, snap := harness.RunCRLStressOnce(crlOps, s)
+			row, snap := harness.RunCRLStressOnce(crlOps, s, crlOpts...)
 			if !row.Completed {
 				mustOK("crlstress", fmt.Errorf("workload wedged"))
 			}
 			if row.Total != row.Expected {
 				mustOK("crlstress", fmt.Errorf("lost updates: total %d, expected %d", row.Total, row.Expected))
 			}
-			return row.Cycles, snap
+			return keep("crlstress", row.Cycles, snap)
 		}),
 	}
 
+	if *common.metricsDir != "" {
+		for _, r := range rows {
+			writeMetrics(*common.metricsDir, "bench."+r.Workload)(snaps[r.Workload])
+		}
+	}
 	for _, r := range rows {
 		fmt.Printf("%-10s %10.2f Mcycles/s %10.3f allocs/event %10.1f ns/event\n",
 			r.Workload, r.McyclesPerSec, r.AllocsPerEvent, r.NsPerEvent)

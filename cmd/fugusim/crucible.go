@@ -13,15 +13,17 @@ import (
 
 // crucibleCmd implements `fugusim crucible`: run the fault-injection sweep
 // (every named fault plan × -trials seeds) and enforce its delivery oracles.
-// Exit status 0 means every oracle passed and every second-case cause —
-// GID mismatch, atomicity timeout, handler page fault, quantum expiry,
-// buffer overflow — was forced at least once somewhere in the sweep;
-// 1 means an oracle violation or a coverage hole.
+// Exit status 0 means every oracle passed and every second-case cause the
+// selected delivery policy can express — GID mismatch, atomicity timeout,
+// handler page fault, quantum expiry, buffer overflow — was forced at least
+// once somewhere in the sweep; 1 means an oracle violation or a coverage
+// hole. Policies without a kernel-buffered mode (-policy bypass) cannot
+// revoke atomicity or trip overflow control, so those causes are not
+// required of them (see CrucibleResult.RequiredCauses).
 func crucibleCmd(args []string) {
 	fs := flag.NewFlagSet("crucible", flag.ExitOnError)
-	full := fs.Bool("full", false, "run the paper-scale workload (slow)")
+	common := registerCommon(fs)
 	trials := fs.Int("trials", 1, "trials (seeds) per fault plan")
-	seed := fs.Uint64("seed", 1, "base random seed (trial t runs at seed+t)")
 	jobs := fs.Int("j", 0, "worker-pool size for sweep points (default: GOMAXPROCS)")
 	csvDir := fs.String("csv", "", "also write the sweep as crucible.csv into this directory")
 	listPts := fs.Bool("list", false, "list the sweep points and exit")
@@ -34,16 +36,10 @@ func crucibleCmd(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
+	common.resolve()
 
-	opts := []harness.Option{
-		harness.WithSeed(*seed), harness.WithTrials(*trials),
-		harness.WithParallelism(*jobs),
-	}
-	if *full {
-		opts = append(opts, harness.WithFull())
-	} else {
-		opts = append(opts, harness.WithQuick())
-	}
+	opts := append(common.harnessOptions(),
+		harness.WithTrials(*trials), harness.WithParallelism(*jobs))
 	if *listPts {
 		_, pts, _, err := resolvePoint("crucible", -1, harness.NewOptions(opts...))
 		if err != nil {
@@ -65,6 +61,9 @@ func crucibleCmd(args []string) {
 			}
 			fmt.Fprintf(os.Stderr, "%s: %d/%d %s %s\n", p.Experiment, p.Done, p.Total, p.Label, status)
 		}
+	}
+	if *common.metricsDir != "" {
+		runner.OnMetrics = writeMetrics(*common.metricsDir, "crucible")
 	}
 	exp, _ := harness.Lookup("crucible")
 	start := time.Now()
@@ -90,9 +89,11 @@ func crucibleCmd(args []string) {
 		fmt.Fprintf(os.Stderr, "fugusim: crucible: %d oracle violation(s)\n", len(problems))
 		failed = true
 	}
-	for cause, hit := range cres.CauseCoverage() {
-		if !hit {
-			fmt.Fprintf(os.Stderr, "fugusim: crucible: cause %q never forced\n", cause)
+	cov := cres.CauseCoverage()
+	for _, cause := range cres.RequiredCauses() {
+		if !cov[cause] {
+			fmt.Fprintf(os.Stderr, "fugusim: crucible: cause %q never forced under policy %s\n",
+				cause, cres.Policy)
 			failed = true
 		}
 	}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fugu/internal/delivery"
+	"fugu/internal/glaze"
+	"fugu/internal/harness"
+)
+
+// commonFlags is the flag block every fugusim subcommand shares — the
+// -quick/-full scale pair, the base -seed, the -metrics snapshot directory
+// and the -policy delivery-policy selector. Each subcommand registers it on
+// its own FlagSet so `fugusim <sub> -h` shows one consistent spelling
+// everywhere and a new shared flag lands in every subcommand at once.
+type commonFlags struct {
+	quick      *bool
+	full       *bool
+	seed       *uint64
+	metricsDir *string
+	policyName *string
+
+	// policy is the resolved delivery policy, nil when -policy was not given
+	// (the machine default, delivery.TwoCase, then applies).
+	policy delivery.Policy
+}
+
+// registerCommon installs the shared flag block on fs.
+func registerCommon(fs *flag.FlagSet) *commonFlags {
+	c := &commonFlags{}
+	c.quick = fs.Bool("quick", false, "run the scaled-down workloads (the default; -full overrides)")
+	c.full = fs.Bool("full", false, "run the paper-scale workloads (slow)")
+	c.seed = fs.Uint64("seed", 1, "base random seed (trial t runs at seed+t)")
+	c.metricsDir = fs.String("metrics", "", "write merged registry snapshots (JSON+CSV) into this directory")
+	c.policyName = fs.String("policy", "",
+		fmt.Sprintf("delivery policy, one of %v (default: twocase)", delivery.Names()))
+	return c
+}
+
+// resolve validates the shared flags after parsing: -quick and -full are
+// mutually exclusive and -policy must name a registered policy. Violations
+// exit with usage status, like any other bad flag.
+func (c *commonFlags) resolve() {
+	if *c.quick && *c.full {
+		fmt.Fprintln(os.Stderr, "fugusim: -quick and -full are mutually exclusive")
+		os.Exit(2)
+	}
+	if *c.policyName != "" {
+		pol, err := delivery.ByName(*c.policyName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
+			os.Exit(2)
+		}
+		c.policy = pol
+	}
+}
+
+// harnessOptions turns the shared flags into the base harness option set:
+// scale, scale-appropriate default trial count, seed and policy. Subcommand
+// flags (-trials, -j, ...) append after these and so override the defaults.
+func (c *commonFlags) harnessOptions() []harness.Option {
+	opts := []harness.Option{harness.WithSeed(*c.seed)}
+	if *c.full {
+		opts = append(opts, harness.WithFull(), harness.WithTrials(3))
+	} else {
+		opts = append(opts, harness.WithQuick(), harness.WithTrials(1))
+	}
+	if c.policy != nil {
+		opts = append(opts, harness.WithDeliveryPolicy(c.policy))
+	}
+	return opts
+}
+
+// configMut returns a machine-config mutator applying the shared flags to
+// workloads driven outside the harness Options path (the bench runners), or
+// nil when the machine defaults already match.
+func (c *commonFlags) configMut() func(*glaze.Config) {
+	if c.policy == nil {
+		return nil
+	}
+	pol := c.policy
+	return func(cfg *glaze.Config) { cfg.Delivery = pol }
+}

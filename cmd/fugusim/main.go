@@ -53,12 +53,9 @@ import (
 )
 
 func main() {
-	full := flag.Bool("full", false, "run the paper-scale workloads (slow)")
-	quick := flag.Bool("quick", false, "run the scaled-down workloads (the default; -full overrides)")
+	common := registerCommon(flag.CommandLine)
 	trials := flag.Int("trials", 0, "trials per data point (default: 1 quick, 3 full)")
-	seed := flag.Uint64("seed", 1, "base random seed (trial t runs at seed+t)")
 	csvDir := flag.String("csv", "", "also write experiment data as CSV files into this directory")
-	metricsDir := flag.String("metrics", "", "write merged registry snapshots (JSON+CSV) into this directory")
 	jobs := flag.Int("j", 0, "worker-pool size for sweep points (default: GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report each completed sweep point on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -109,18 +106,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *quick && *full {
-		fmt.Fprintln(os.Stderr, "fugusim: -quick and -full are mutually exclusive")
-		os.Exit(2)
-	}
+	common.resolve()
 	names = expandNames(names)
 
-	opts := []harness.Option{harness.WithSeed(*seed), harness.WithParallelism(*jobs)}
-	if *full {
-		opts = append(opts, harness.WithFull(), harness.WithTrials(3))
-	} else {
-		opts = append(opts, harness.WithQuick(), harness.WithTrials(1))
-	}
+	opts := append(common.harnessOptions(), harness.WithParallelism(*jobs))
 	if *trials > 0 {
 		opts = append(opts, harness.WithTrials(*trials))
 	}
@@ -152,8 +141,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fugusim: unknown experiment %q (try `fugusim list`)\n", name)
 			os.Exit(2)
 		}
-		if *metricsDir != "" {
-			runner.OnMetrics = writeMetrics(*metricsDir, exp.Name)
+		if *common.metricsDir != "" {
+			runner.OnMetrics = writeMetrics(*common.metricsDir, exp.Name)
 		}
 		start := time.Now()
 		fmt.Printf("== %s ==\n", exp.Name)
@@ -172,6 +161,16 @@ func main() {
 						os.Exit(1)
 					}
 				}
+			}
+		}
+		// Oracle-bearing experiments (crucible, policylab) report violations
+		// through Problems; surface them as a failing exit so CI runs of
+		// `fugusim run` enforce them, not just the dedicated subcommand.
+		if pr, ok := res.(interface{ Problems() []string }); ok {
+			if problems := pr.Problems(); len(problems) > 0 {
+				fmt.Fprintf(os.Stderr, "fugusim: %s: %d oracle violation(s)\n",
+					exp.Name, len(problems))
+				os.Exit(1)
 			}
 		}
 	}
@@ -196,14 +195,13 @@ func writeMetrics(dir, name string) func(metrics.Snapshot) {
 // serially with an event log installed, then export the timeline.
 func traceCmd(args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	common := registerCommon(fs)
 	cats := fs.String("cats", "", "comma-separated categories to record (default all): mode,sched,overflow,message,span")
 	out := fs.String("o", "-", "output path (- writes to stdout)")
 	jsonl := fs.Bool("jsonl", false, "emit JSON Lines instead of Chrome trace_event JSON")
 	point := fs.Int("point", 0, "sweep point index to trace (see -list)")
 	listPts := fs.Bool("list", false, "list the experiment's sweep points and exit")
 	capN := fs.Int("cap", 1<<16, "event ring capacity; oldest events beyond it are dropped")
-	seed := fs.Uint64("seed", 1, "base random seed")
-	full := fs.Bool("full", false, "run the paper-scale workload (slow)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fugusim trace [flags] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", harness.Names())
@@ -214,6 +212,7 @@ func traceCmd(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
+	common.resolve()
 
 	enabled, err := trace.ParseCats(*cats)
 	if err != nil {
@@ -223,15 +222,8 @@ func traceCmd(args []string) {
 	log := trace.New(*capN)
 	log.Enable(enabled...)
 
-	opts := []harness.Option{
-		harness.WithSeed(*seed), harness.WithTrials(1),
-		harness.WithParallelism(1), harness.WithTrace(log),
-	}
-	if *full {
-		opts = append(opts, harness.WithFull())
-	} else {
-		opts = append(opts, harness.WithQuick())
-	}
+	opts := append(common.harnessOptions(),
+		harness.WithTrials(1), harness.WithParallelism(1), harness.WithTrace(log))
 	opt := harness.NewOptions(opts...)
 	exp, pts, sel, err := resolvePoint(names[0], pointIndex(*point, *listPts), opt)
 	if err != nil {
@@ -247,9 +239,15 @@ func traceCmd(args []string) {
 	defer stop()
 	pt := *sel
 	fmt.Fprintf(os.Stderr, "tracing %s point %d (%s)\n", exp.Name, *point, pt.Label)
-	if _, err := pt.Run(ctx, opt); err != nil {
+	res, err := pt.Run(ctx, opt)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "fugusim: %s (%s): %v\n", exp.Name, pt.Label, err)
 		os.Exit(1)
+	}
+	if *common.metricsDir != "" {
+		if mc, ok := res.(harness.MetricsCarrier); ok {
+			writeMetrics(*common.metricsDir, exp.Name)(mc.MetricsSnapshot())
+		}
 	}
 
 	var w io.Writer = os.Stdout
@@ -320,10 +318,9 @@ func listPoints(w io.Writer, pts []harness.Point) {
 // state, in-flight spans, the waits-for graph — and exits with status 3.
 func doctorCmd(args []string) {
 	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
+	common := registerCommon(fs)
 	point := fs.Int("point", 0, "sweep point index to replay (see -list)")
 	listPts := fs.Bool("list", false, "list the experiment's sweep points and exit")
-	seed := fs.Uint64("seed", 1, "base random seed (0x-prefixed hex accepted)")
-	full := fs.Bool("full", false, "run the paper-scale workload (slow)")
 	// The stall threshold (interval*grace) must exceed the longest healthy
 	// quiet phase; the gang quantum is 500k cycles, and a descheduled job
 	// legitimately makes no delivery progress for a whole quantum, so the
@@ -342,18 +339,12 @@ func doctorCmd(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
+	common.resolve()
 
 	rec := spans.NewRecorder(nil)
-	opts := []harness.Option{
-		harness.WithSeed(*seed), harness.WithTrials(1),
-		harness.WithParallelism(1), harness.WithSpans(rec),
-		harness.WithWatchdog(glaze.WatchdogConfig{Interval: *interval, Grace: *grace}),
-	}
-	if *full {
-		opts = append(opts, harness.WithFull())
-	} else {
-		opts = append(opts, harness.WithQuick())
-	}
+	opts := append(common.harnessOptions(),
+		harness.WithTrials(1), harness.WithParallelism(1), harness.WithSpans(rec),
+		harness.WithWatchdog(glaze.WatchdogConfig{Interval: *interval, Grace: *grace}))
 	opt := harness.NewOptions(opts...)
 	exp, pts, sel, err := resolvePoint(names[0], pointIndex(*point, *listPts), opt)
 	if err != nil {
@@ -402,6 +393,9 @@ func doctorCmd(args []string) {
 	var problems []string
 	if mc, ok := res.(harness.MetricsCarrier); ok {
 		snap := mc.MetricsSnapshot()
+		if *common.metricsDir != "" {
+			writeMetrics(*common.metricsDir, exp.Name)(snap)
+		}
 		problems = rec.Check(snap.Counters["glaze.deliver.fast"], snap.Counters["glaze.deliver.buffered"])
 	} else {
 		// No snapshot to reconcile against: still require terminal states.

@@ -37,6 +37,7 @@ package fugu
 import (
 	"fugu/internal/apps"
 	"fugu/internal/cpu"
+	"fugu/internal/delivery"
 	"fugu/internal/glaze"
 	"fugu/internal/harness"
 	"fugu/internal/udm"
@@ -109,6 +110,33 @@ var (
 	WithOutputWords = glaze.WithOutputWords
 )
 
+// Delivery policies: the receive-side strategy a machine runs under. The
+// default is two-case delivery; the alternatives trade protection machinery
+// for memory or hardware (see internal/delivery and the policylab
+// experiment).
+type (
+	// DeliveryPolicy decides how messages reach a protected process.
+	DeliveryPolicy = delivery.Policy
+	// TwoCase is the paper's design: fast path plus kernel-buffered second case.
+	TwoCase = delivery.TwoCase
+	// ZeroCopyRemap buffers by flipping whole pages instead of copying.
+	ZeroCopyRemap = delivery.ZeroCopyRemap
+	// BypassRing demultiplexes in NI hardware into pinned per-process rings.
+	BypassRing = delivery.BypassRing
+)
+
+// Delivery-policy selection and discovery.
+var (
+	// WithDeliveryPolicy selects a machine's delivery policy (nil = two-case).
+	WithDeliveryPolicy = glaze.WithDeliveryPolicy
+	// DefaultBypassRing returns the standard 4-page, 128-word-slot ring.
+	DefaultBypassRing = delivery.DefaultBypassRing
+	// DeliveryPolicies lists the registered policy names (-policy flag values).
+	DeliveryPolicies = delivery.Names
+	// DeliveryPolicyByName resolves a -policy flag value to its policy.
+	DeliveryPolicyByName = delivery.ByName
+)
+
 // Costs returns the cost model for one of Table 4's columns.
 func Costs(impl glaze.AtomicityImpl) CostModel { return glaze.Costs(impl) }
 
@@ -173,6 +201,8 @@ var (
 	WithSeed = harness.WithSeed
 	// WithParallelism sets the Runner's worker count.
 	WithParallelism = harness.WithParallelism
+	// WithExperimentPolicy runs every sweep point under a delivery policy.
+	WithExperimentPolicy = harness.WithDeliveryPolicy
 	// NewExperimentOptions resolves a full option set.
 	NewExperimentOptions = harness.NewOptions
 )
@@ -192,13 +222,8 @@ var (
 	Fig9 = harness.Fig9
 	// Fig10 sweeps the buffered-path cost for synth-N.
 	Fig10 = harness.Fig10
-)
-
-// QuickOptions and DefaultOptions scale the experiments.
-//
-// Deprecated: compose functional options (WithQuick, WithTrials, ...)
-// instead.
-var (
-	QuickOptions   = harness.QuickOptions
-	DefaultOptions = harness.DefaultOptions
+	// Crucible runs the fault-injection sweep with delivery oracles.
+	Crucible = harness.Crucible
+	// PolicyLab compares the delivery policies head-to-head under faults.
+	PolicyLab = harness.PolicyLab
 )

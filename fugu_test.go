@@ -76,7 +76,7 @@ func TestFacadeCostModels(t *testing.T) {
 	if Costs(SoftAtomicity).RecvIntrTotal() != 115 {
 		t.Error("soft total != 115")
 	}
-	if QuickOptions().Quick == DefaultOptions().Quick {
+	if NewExperimentOptions(WithQuick()).Quick == NewExperimentOptions().Quick {
 		t.Error("options presets identical")
 	}
 }

@@ -1,4 +1,4 @@
-package glaze
+package delivery
 
 import (
 	"testing"
@@ -23,16 +23,16 @@ func FuzzBufferInsertDrain(f *testing.F) {
 		// below a page keep within the buffer's design envelope (real NI
 		// messages are tens of words; see TestBufferFIFOProperty).
 		frames := vm.NewFrames(int(poolB)%6 + 4)
-		b := newSWBuffer(frames)
+		b := NewVirtualBuffer(frames)
 		var model [][]uint64
 
 		verifyHead := func() {
 			want := model[0]
-			if n, _ := b.headLen(); n != len(want) {
+			if n := b.HeadLen(); n != len(want) {
 				t.Fatalf("head len = %d, want %d", n, len(want))
 			}
 			for j, w := range want {
-				if got, _ := b.headWord(j); got != w {
+				if got := b.HeadWord(j); got != w {
 					t.Fatalf("head word %d = %#x, want %#x", j, got, w)
 				}
 			}
@@ -43,7 +43,7 @@ func FuzzBufferInsertDrain(f *testing.F) {
 			op, arg := script[i], script[i+1]
 			if op%4 == 3 && len(model) > 0 {
 				verifyHead()
-				b.pop()
+				b.Pop()
 				model = model[1:]
 				continue
 			}
@@ -53,19 +53,19 @@ func FuzzBufferInsertDrain(f *testing.F) {
 				seq++
 				words[j] = seq*0x9e3779b97f4a7c15 + uint64(j)
 			}
-			b.push(seq, words, 0, 0)
+			b.Push(seq, words, 0, 0)
 			model = append(model, words)
 		}
 		for len(model) > 0 {
 			verifyHead()
-			b.pop()
+			b.Pop()
 			model = model[1:]
 		}
-		if !b.empty() {
+		if !b.Empty() {
 			t.Fatal("buffer not empty after draining the model")
 		}
-		if b.pagesResident() != 0 {
-			t.Fatalf("resident pages after drain = %d, want 0", b.pagesResident())
+		if b.PagesResident() != 0 {
+			t.Fatalf("resident pages after drain = %d, want 0", b.PagesResident())
 		}
 		if frames.InUse() != 0 {
 			t.Fatalf("frames in use after drain = %d, want 0", frames.InUse())

@@ -1,7 +1,9 @@
 package glaze
 
 import (
+	"fugu/internal/delivery"
 	"fugu/internal/faultinject"
+	"fugu/internal/nic"
 	"fugu/internal/spans"
 	"fugu/internal/trace"
 )
@@ -56,6 +58,24 @@ func WithMachineSeed(seed uint64) ConfigOption {
 // messages (see DESIGN.md).
 func WithOutputWords(words int) ConfigOption {
 	return func(c *Config) { c.NIConfig.OutputWords = words }
+}
+
+// WithNIConfig applies nic options over the machine's NI configuration
+// (the glaze-level counterpart of nic.NewConfig).
+func WithNIConfig(opts ...nic.ConfigOption) ConfigOption {
+	return func(c *Config) {
+		for _, o := range opts {
+			o(&c.NIConfig)
+		}
+	}
+}
+
+// WithDeliveryPolicy selects the receive-side delivery policy. Nil (and the
+// default) is delivery.TwoCase{}, which reproduces the paper's organization
+// bit-for-bit; delivery.ZeroCopyRemap and delivery.BypassRing are the rival
+// organizations for head-to-head comparison.
+func WithDeliveryPolicy(p delivery.Policy) ConfigOption {
+	return func(c *Config) { c.Delivery = p }
 }
 
 // WithFaults arms a deterministic fault injector executing the plan. Faults

@@ -75,6 +75,10 @@ type CostModel struct {
 	PageOut         uint64 // evict one buffer page over the OS network
 	PageIn          uint64 // fetch one buffer page back
 	ExtraBufferCost uint64 // artificial addition to the insert handler (Figure 10 knob)
+
+	// --- Rival delivery policies (delivery package; unused by two-case) ---
+	RemapCost        uint64 // zero-copy page flip: map + TLB invalidate
+	RemapReleaseCost uint64 // zero-copy consume: unmap + TLB shootdown
 }
 
 // Costs returns the cost model for one of Table 4's columns.
@@ -106,6 +110,9 @@ func Costs(impl AtomicityImpl) CostModel {
 		FaultService:  500,
 		PageOut:       2000,
 		PageIn:        2000,
+
+		RemapCost:        300,
+		RemapReleaseCost: 60,
 	}
 	switch impl {
 	case KernelMode:

@@ -34,6 +34,13 @@ type Kernel struct {
 	frames *vm.Frames
 	cost   CostModel
 
+	// Delivery-policy traits, resolved once from the machine's policy:
+	// kernelBuffered enables the divert machinery (mismatch inserts, mode
+	// flips, overflow drain-back); hwDemux installs the kernel as the NI's
+	// receive offload engine (kernel-bypass rings).
+	kernelBuffered bool
+	hwDemux        bool
+
 	procs map[nic.GID]*Process
 	// current is the resident process (nil while the null slot runs).
 	current *Process
@@ -80,13 +87,15 @@ type Kernel struct {
 
 func newKernel(m *Machine, node int) *Kernel {
 	k := &Kernel{
-		m:      m,
-		node:   node,
-		cpu:    m.Nodes[node].CPU,
-		ni:     m.Nodes[node].NI,
-		frames: m.Nodes[node].Frames,
-		cost:   m.cost,
-		procs:  make(map[nic.GID]*Process),
+		m:              m,
+		node:           node,
+		cpu:            m.Nodes[node].CPU,
+		ni:             m.Nodes[node].NI,
+		frames:         m.Nodes[node].Frames,
+		cost:           m.cost,
+		kernelBuffered: m.policy.KernelBuffered(),
+		hwDemux:        m.policy.HardwareDemux(),
+		procs:          make(map[nic.GID]*Process),
 	}
 	k.bindMetrics(m.Nodes[node].Metrics)
 	k.ni.SetGID(nullGID)
@@ -106,7 +115,38 @@ func newKernel(m *Machine, node int) *Kernel {
 		AtomicityTimeout:  func() { k.timeoutIRQ.Raise() },
 	})
 	m.Net.Register(node, mesh.OS, (*osEndpoint)(k))
+	if k.hwDemux {
+		k.ni.SetOffload(k)
+	}
 	return k
+}
+
+// AdmitUser implements nic.Offload: the NI's admission check for arriving
+// user packets under a hardware-demultiplexing policy. Packets for unknown
+// GIDs are admitted — the mismatch path counts and drops them (a protection
+// event, not backpressure).
+func (k *Kernel) AdmitUser(pkt *mesh.Packet) bool {
+	p := k.procs[nic.HeaderGID(pkt.Words[0])]
+	if p == nil {
+		return true
+	}
+	return p.store.Admit(len(pkt.Words))
+}
+
+// DemuxHead implements nic.Offload: the NI deposits the head user packet
+// directly into its owner's ring, spending no processor cycles. Stray GIDs
+// are refused and left for the mismatch interrupt.
+func (k *Kernel) DemuxHead(pkt *mesh.Packet) bool {
+	p := k.procs[nic.HeaderGID(pkt.Words[0])]
+	if p == nil {
+		return false
+	}
+	p.store.Push(pkt.ID, pkt.Words, pkt.SentAt, k.m.Eng.Now())
+	p.mBufPages.Set(int64(p.store.PagesResident()))
+	if p.scheduled && !p.atomicVirtual {
+		p.SignalUpcall()
+	}
+	return true
 }
 
 // bindMetrics creates the kernel's named instruments in the node registry.
@@ -192,9 +232,12 @@ func (k *Kernel) mismatchISR(t *cpu.Task) {
 	}
 }
 
-// bufferInsert copies one message into p's virtual buffer, charging the
-// Table 5 costs, and performs the overflow-control checks.
+// bufferInsert diverts one message into p's second-case store, charging the
+// policy's insert cost, and performs the overflow-control checks.
 func (k *Kernel) bufferInsert(t *cpu.Task, p *Process, pkt *mesh.Packet) {
+	if !k.kernelBuffered {
+		panic("glaze: buffer insert under a policy without kernel buffering")
+	}
 	k.applyFrameStarvation()
 	if k.m.Spans != nil {
 		cause := "gid-mismatch"
@@ -205,22 +248,19 @@ func (k *Kernel) bufferInsert(t *cpu.Task, p *Process, pkt *mesh.Packet) {
 		}
 		k.m.Spans.Insert(k.m.Eng.Now(), pkt.ID, k.node, cause)
 	}
-	res := p.buf.push(pkt.ID, pkt.Words, pkt.SentAt, k.m.Eng.Now())
-	cost := k.cost.BufferInsertMin
-	if res.newPages > 0 {
-		cost = k.cost.BufferInsertVMAlloc
-	}
-	cost += k.cost.ExtraBufferCost
-	cost += k.cost.PageOut * uint64(res.pagedOut)
-	t.Spend(cost)
+	res := p.store.Push(pkt.ID, pkt.Words, pkt.SentAt, k.m.Eng.Now())
+	t.Spend(p.store.InsertCost(res))
 	k.Inserts++
 	k.mInserts.Inc()
-	if res.newPages > 0 {
+	if res.NewPages > 0 || res.Fallback {
+		// A demand allocation on the virtual-buffer path, or a copy taken by
+		// the zero-copy policy with no frame to pin: either way the insert
+		// escaped its cheap case.
 		k.InsertVMAllocs++
 		k.mInsertVMAllocs.Inc()
 	}
 	k.mFramesInUse.Set(int64(k.frames.InUse()))
-	p.mBufPages.Set(int64(p.buf.pagesResident()))
+	p.mBufPages.Set(int64(p.store.PagesResident()))
 	p.CountDelivery(false)
 	if !p.buffered {
 		p.buffered = true
@@ -240,6 +280,11 @@ func (k *Kernel) bufferInsert(t *cpu.Task, p *Process, pkt *mesh.Packet) {
 // physical atomicity becomes virtual atomicity and delivery shifts to the
 // buffered path.
 func (k *Kernel) timeoutISR(t *cpu.Task) {
+	if !k.kernelBuffered {
+		// No buffered mode to revoke into: a bypass ring rides out the long
+		// atomic section on its own capacity (and NACKs past it).
+		return
+	}
 	p := k.current
 	if p == nil || p.buffered {
 		return // stale timeout (mode already shifted)
@@ -307,10 +352,11 @@ func (k *Kernel) contextSwitchTo(t *cpu.Task, p *Process) {
 		p.descShadow = nil
 	}
 	// Transparency at quantum start: a process with buffered messages
-	// resumes in buffered mode and drains before touching the NI.
+	// resumes in buffered mode and drains before touching the NI. A bypass
+	// ring likewise resumes with whatever the NI demuxed while it was out.
 	k.ni.SetDivert(p.buffered)
 	p.resumeTasks()
-	if p.buffered && !p.buf.empty() && !p.atomicVirtual {
+	if (p.buffered || k.hwDemux) && !p.store.Empty() && !p.atomicVirtual {
 		p.SignalUpcall()
 	}
 }
@@ -321,17 +367,48 @@ func (k *Kernel) contextSwitchTo(t *cpu.Task, p *Process) {
 // UserDispose performs the user dispose operation with full trap semantics.
 // In the fast case the NI frees the message; under divert the kernel
 // emulates disposal from the software buffer (the dispose-extend path).
-func (k *Kernel) UserDispose(t *cpu.Task, p *Process) {
+// It reports whether the disposal was genuinely fast: false means the
+// message came out of the policy store, i.e. it was already tallied as a
+// buffered delivery at insert time. The distinction matters when the mode
+// flips mid-read — a message read from the NI head can be diverted into the
+// store by a context switch before its dispose lands, and only the dispose
+// outcome says which path it ultimately took.
+func (k *Kernel) UserDispose(t *cpu.Task, p *Process) bool {
+	if k.hwDemux {
+		k.bypassDispose(t, p)
+		return true
+	}
 	switch trap := k.ni.Dispose(); trap {
 	case nic.TrapNone:
-		return
+		return true
 	case nic.TrapDisposeExtend:
 		k.disposeExtend(t, p)
+		return false
 	case nic.TrapBadDispose:
 		panic(fmt.Sprintf("glaze: %s disposed with no message available", p.job.name))
 	default:
 		panic(fmt.Sprintf("glaze: unexpected dispose trap %v", trap))
 	}
+}
+
+// bypassDispose frees the head message of a hardware-demultiplexed ring:
+// the user-visible dispose under a kernel-bypass policy. It counts as a
+// fast-path disposal (the kernel never touched the message), clears
+// dispose-pending as the hardware dispose would, and re-offers network
+// backpressure now that a ring slot is free.
+func (k *Kernel) bypassDispose(t *cpu.Task, p *Process) {
+	if p.store.Empty() {
+		panic(fmt.Sprintf("glaze: %s disposed with empty bypass ring", p.job.name))
+	}
+	k.ni.SetUACKernel(nic.UACDisposePending, false)
+	meta, cost := p.store.Pop()
+	if cost > 0 {
+		t.Spend(cost)
+	}
+	k.m.Spans.End(k.m.Eng.Now(), meta.ID, k.node, spans.TermFast)
+	k.mResidency.Observe(k.m.Eng.Now() - meta.InsertedAt)
+	p.mBufPages.Set(int64(p.store.PagesResident()))
+	k.ni.NotifyInputSpace()
 }
 
 // disposeExtend emulates disposal from the software buffer, including the
@@ -340,12 +417,16 @@ func (k *Kernel) UserDispose(t *cpu.Task, p *Process) {
 func (k *Kernel) disposeExtend(t *cpu.Task, p *Process) {
 	k.applyFrameStarvation()
 	k.ni.SetUACKernel(nic.UACDisposePending, false)
-	meta := p.buf.pop()
-	k.m.Spans.End(k.m.Eng.Now(), meta.id, k.node, spans.TermBuffered)
-	k.mResidency.Observe(k.m.Eng.Now() - meta.insertedAt)
+	meta, popCost := p.store.Pop()
+	if popCost > 0 {
+		// Zero-copy consume: unmapping the flipped page costs a shootdown.
+		t.Spend(popCost)
+	}
+	k.m.Spans.End(k.m.Eng.Now(), meta.ID, k.node, spans.TermBuffered)
+	k.mResidency.Observe(k.m.Eng.Now() - meta.InsertedAt)
 	k.mFramesInUse.Set(int64(k.frames.InUse()))
-	p.mBufPages.Set(int64(p.buf.pagesResident()))
-	if p.buf.empty() {
+	p.mBufPages.Set(int64(p.store.PagesResident()))
+	if p.store.Empty() {
 		k.exitBuffered(t, p)
 	}
 	k.maybeLiftOverflow(p)
@@ -357,9 +438,10 @@ func (k *Kernel) disposeExtend(t *cpu.Task, p *Process) {
 func (k *Kernel) UserEndAtom(t *cpu.Task, p *Process, mask uint8) {
 	switch trap := k.ni.EndAtom(mask, false); trap {
 	case nic.TrapNone:
-		// Leaving an atomic section in buffered mode releases deferred
-		// messages to the message-handling activity.
-		if p.buffered && !p.buf.empty() {
+		// Leaving an atomic section in buffered mode (or with a demuxed
+		// backlog) releases deferred messages to the message-handling
+		// activity.
+		if (p.buffered || k.hwDemux) && !p.store.Empty() {
 			p.SignalUpcall()
 		}
 		return
@@ -381,7 +463,7 @@ func (k *Kernel) atomicityExtend(t *cpu.Task, p *Process, mask uint8) {
 	if trap := k.ni.EndAtom(mask, false); trap != nic.TrapNone {
 		panic(fmt.Sprintf("glaze: endatom retry trapped %v", trap))
 	}
-	if p.buffered && !p.buf.empty() {
+	if p.buffered && !p.store.Empty() {
 		p.SignalUpcall()
 	}
 }
@@ -422,7 +504,7 @@ func (k *Kernel) Touch(t *cpu.Task, p *Process, addr uint64, inHandler bool) {
 	if inHandler {
 		p.FaultsInHandler++
 		k.mFaultsInHandler.Inc()
-		if !p.buffered {
+		if k.kernelBuffered && !p.buffered {
 			p.buffered = true
 			k.mEnterFault.Inc()
 			p.atomicVirtual = true // the faulting handler holds atomicity
@@ -443,7 +525,7 @@ func (k *Kernel) SyntheticHandlerFault(t *cpu.Task, p *Process) {
 	t.Spend(k.cost.FaultService)
 	p.FaultsInHandler++
 	k.mFaultsInHandler.Inc()
-	if !p.buffered {
+	if k.kernelBuffered && !p.buffered {
 		p.buffered = true
 		k.mEnterFault.Inc()
 		k.m.Trace.Add(k.m.Eng.Now(), k.node, trace.Mode, "enter buffered %s (injected fault)", p.job.name)
@@ -543,7 +625,7 @@ func (k *Kernel) maybeLiftOverflow(p *Process) {
 	if !p.job.overflowed {
 		return
 	}
-	if float64(k.frames.InUse()) > overflowLowFrac*float64(k.frames.Total()) && !p.buf.empty() {
+	if float64(k.frames.InUse()) > overflowLowFrac*float64(k.frames.Total()) && !p.store.Empty() {
 		return
 	}
 	p.job.overflowed = false

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fugu/internal/cpu"
+	"fugu/internal/delivery"
 	"fugu/internal/faultinject"
 	"fugu/internal/mesh"
 	"fugu/internal/metrics"
@@ -22,6 +23,11 @@ type Config struct {
 	NIConfig      nic.Config
 	Latency       mesh.LatencyModel
 	FramesPerNode int
+
+	// Delivery selects the receive-side delivery policy. Nil means
+	// delivery.TwoCase{}, the paper's organization and the bit-exact
+	// default; see the delivery package for the rivals.
+	Delivery delivery.Policy
 
 	// AlwaysBuffered disables the fast case entirely: every message is
 	// delivered through the software buffer, the SUNMOS-style one-case
@@ -91,6 +97,10 @@ type Machine struct {
 	nextGID nic.GID
 	jobs    []*Job
 
+	// policy is the receive-side delivery organization (never nil; TwoCase
+	// by default).
+	policy delivery.Policy
+
 	alwaysBuffered bool
 	noReclaim      bool
 
@@ -127,11 +137,18 @@ func NewMachine(cfg Config, opts ...ConfigOption) *Machine {
 		// The watchdog's progress fingerprint and report need a recorder.
 		cfg.Spans = spans.NewRecorder(cfg.Trace)
 	}
+	if cfg.Delivery == nil {
+		cfg.Delivery = delivery.TwoCase{}
+	}
+	if cfg.AlwaysBuffered && !cfg.Delivery.KernelBuffered() {
+		panic(fmt.Sprintf("glaze: AlwaysBuffered requires a kernel-buffered delivery policy, not %q", cfg.Delivery.Name()))
+	}
 	m := &Machine{
 		Eng:            eng,
 		Net:            mesh.New(eng, cfg.W, cfg.H, cfg.Latency),
 		cost:           cfg.Cost,
 		nextGID:        1,
+		policy:         cfg.Delivery,
 		alwaysBuffered: cfg.AlwaysBuffered,
 		noReclaim:      cfg.NoBufferReclaim,
 		Trace:          cfg.Trace,
@@ -202,6 +219,9 @@ func (m *Machine) WatchdogReport() *spans.Report {
 
 // Cost returns the machine's cost model.
 func (m *Machine) Cost() CostModel { return m.cost }
+
+// Policy returns the machine's delivery policy (never nil).
+func (m *Machine) Policy() delivery.Policy { return m.policy }
 
 // MetricsSnapshot merges the machine-wide and every node's registry into one
 // snapshot: counters and histogram contents sum across nodes; gauge maxima

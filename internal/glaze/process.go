@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fugu/internal/cpu"
+	"fugu/internal/delivery"
 	"fugu/internal/metrics"
 	"fugu/internal/nic"
 	"fugu/internal/stats"
@@ -11,7 +12,7 @@ import (
 )
 
 // Process is the kernel's per-node state for one member of a gang-scheduled
-// job: its tasks, its virtual software buffer, its address space, and the
+// job: its tasks, its second-case message store, its address space, and the
 // shadow copies of NI state swapped on context switches.
 type Process struct {
 	kern *Kernel
@@ -47,7 +48,10 @@ type Process struct {
 	// Address space for ordinary data pages (handler page-fault modelling).
 	Space *vm.Space
 
-	buf *swBuffer
+	// store is the delivery policy's second-case message store: the virtual
+	// software buffer under two-case delivery, pinned flipped pages under
+	// zero-copy remap, the descriptor ring under kernel bypass.
+	store delivery.Store
 
 	// Overflow control: while throttled, the process's sends stall.
 	throttled bool
@@ -76,7 +80,18 @@ func newProcess(k *Kernel, job *Job, gid nic.GID) *Process {
 		upcallW:   cpu.NewWaitQ("upcall"),
 		throttleW: cpu.NewWaitQ("throttle"),
 		Space:     vm.NewSpace(k.frames),
-		buf:       newSWBuffer(k.frames),
+		store: k.m.policy.NewStore(k.frames, delivery.Params{
+			Costs: delivery.Costs{
+				InsertMin:     k.cost.BufferInsertMin,
+				InsertVMAlloc: k.cost.BufferInsertVMAlloc,
+				ExtraInsert:   k.cost.ExtraBufferCost,
+				PageOut:       k.cost.PageOut,
+				PageIn:        k.cost.PageIn,
+				Remap:         k.cost.RemapCost,
+				RemapRelease:  k.cost.RemapReleaseCost,
+			},
+			NoReclaim: k.m.noReclaim,
+		}),
 	}
 	p.mFast = k.reg.Counter("glaze.deliver.fast")
 	p.mBuffered = k.reg.Counter("glaze.deliver.buffered")
@@ -104,9 +119,6 @@ func newProcess(k *Kernel, job *Job, gid nic.GID) *Process {
 	p.upcall.Suspend() // runs only while the process is scheduled
 	if k.m.alwaysBuffered {
 		p.buffered = true
-	}
-	if k.m.noReclaim {
-		p.buf.noReclaim = true
 	}
 	return p
 }
@@ -158,8 +170,8 @@ func (p *Process) ObserveLatency(fast bool, cycles uint64) {
 // read — from the NI's head packet in direct mode, from the buffer metadata
 // in buffered mode. ok is false with no message pending.
 func (p *Process) HeadSentAt() (at uint64, ok bool) {
-	if p.buffered {
-		return p.buf.headSentAt()
+	if p.buffered || p.kern.hwDemux {
+		return p.store.HeadSentAt()
 	}
 	if pkt := p.kern.ni.HeadPacket(); pkt != nil {
 		return pkt.SentAt, true
@@ -171,8 +183,8 @@ func (p *Process) HeadSentAt() (at uint64, ok bool) {
 // the NI head in direct mode, the buffer head in buffered mode. ok is
 // false with no message pending.
 func (p *Process) HeadID() (id uint64, ok bool) {
-	if p.buffered {
-		return p.buf.headID()
+	if p.buffered || p.kern.hwDemux {
+		return p.store.HeadID()
 	}
 	if pkt := p.kern.ni.HeadPacket(); pkt != nil {
 		return pkt.ID, true
@@ -187,18 +199,22 @@ func (p *Process) Buffered() bool { return p.buffered }
 func (p *Process) Scheduled() bool { return p.scheduled }
 
 // BufferPagesHighWater reports the most physical pages the process's
-// virtual buffer ever consumed on this node.
-func (p *Process) BufferPagesHighWater() int { return p.buf.PagesHighWater() }
+// second-case store ever consumed on this node.
+func (p *Process) BufferPagesHighWater() int { return p.store.PagesHighWater() }
 
-// BufferPending reports unconsumed messages in the software buffer.
-func (p *Process) BufferPending() int { return p.buf.count }
+// BufferPending reports unconsumed messages in the second-case store.
+func (p *Process) BufferPending() int { return p.store.Pending() }
+
+// Store exposes the process's second-case message store (tests, harness).
+func (p *Process) Store() delivery.Store { return p.store }
 
 // UpcallConsumed reports total cycles spent by the message-handling
 // activity (upcalls and buffered drains).
 func (p *Process) UpcallConsumed() uint64 { return p.upcall.Consumed() }
 
-// BufferVMAllocs reports how many buffer inserts demand-allocated a page.
-func (p *Process) BufferVMAllocs() uint64 { return p.buf.vmallocs }
+// BufferVMAllocs reports how many inserts escaped the cheap case: demand
+// page allocations for the virtual buffer, copy fallbacks for zero-copy.
+func (p *Process) BufferVMAllocs() uint64 { return p.store.VMAllocs() }
 
 // StartMain creates the application's main user thread. It begins suspended
 // and runs only while the gang scheduler has the process resident.
@@ -247,9 +263,17 @@ func (p *Process) SignalUpcall() {
 }
 
 // CanDeliverFast reports whether the message-handling activity may take a
-// message directly from the NI: resident, direct mode, matching head.
+// message on the direct path: resident, direct mode, matching head. Under a
+// hardware-demultiplexing policy "direct" means the process's own ring has
+// work — the NI already sorted it, and the kernel never touched it.
 func (p *Process) CanDeliverFast() bool {
-	return p.scheduled && !p.buffered && p.kern.ni.MessageAvailable()
+	if !p.scheduled || p.buffered {
+		return false
+	}
+	if p.kern.hwDemux {
+		return !p.store.Empty()
+	}
+	return p.kern.ni.MessageAvailable()
 }
 
 // CanDeliverBuffered reports whether the message-handling activity may
@@ -259,7 +283,7 @@ func (p *Process) CanDeliverFast() bool {
 // polling thread reads the buffer itself; delivering over its head would
 // break atomicity).
 func (p *Process) CanDeliverBuffered() bool {
-	return p.scheduled && p.buffered && !p.atomicVirtual && !p.buf.empty() &&
+	return p.scheduled && p.buffered && !p.atomicVirtual && !p.store.Empty() &&
 		p.kern.ni.UAC()&nic.UACInterruptDisable == 0
 }
 
@@ -272,18 +296,17 @@ func (p *Process) HaveMessage() bool {
 	if !p.scheduled {
 		return false
 	}
-	if p.buffered {
-		return !p.buf.empty()
+	if p.buffered || p.kern.hwDemux {
+		return !p.store.Empty()
 	}
 	return p.kern.ni.MessageAvailable()
 }
 
 // MsgLen returns the length in words of the current head message through
-// the transparent-access indirection (NI window or buffered copy).
+// the transparent-access indirection (NI window or store copy).
 func (p *Process) MsgLen() int {
-	if p.buffered {
-		n, _ := p.buf.headLen()
-		return n
+	if p.buffered || p.kern.hwDemux {
+		return p.store.HeadLen()
 	}
 	return p.kern.ni.HeadLen()
 }
@@ -291,9 +314,8 @@ func (p *Process) MsgLen() int {
 // MsgWord reads word i of the current head message through the
 // transparent-access indirection.
 func (p *Process) MsgWord(i int) uint64 {
-	if p.buffered {
-		w, _ := p.buf.headWord(i)
-		return w
+	if p.buffered || p.kern.hwDemux {
+		return p.store.HeadWord(i)
 	}
 	return p.kern.ni.ReadWord(i)
 }

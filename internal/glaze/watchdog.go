@@ -134,8 +134,8 @@ func (m *Machine) Diagnose(reason string) *spans.Report {
 		fmt.Fprintf(&b, "mains done=%d/%d overflowed=%v\n", j.done, j.mains, j.overflowed)
 		for _, p := range j.procs {
 			fmt.Fprintf(&b, "node %d: buffered=%v atomicVirtual=%v throttled=%v scheduled=%v buf-pending=%d",
-				p.node, p.buffered, p.atomicVirtual, p.throttled, p.scheduled, p.buf.count)
-			if ids := p.buf.pendingIDs(); len(ids) > 0 {
+				p.node, p.buffered, p.atomicVirtual, p.throttled, p.scheduled, p.store.Pending())
+			if ids := p.store.PendingIDs(); len(ids) > 0 {
 				fmt.Fprintf(&b, " buf-msg-ids=%v", ids)
 			}
 			b.WriteByte('\n')

@@ -68,9 +68,11 @@ func CRLStress(opts ...Option) (CRLStressResult, error) {
 
 // RunCRLStressOnce executes a single stress point outside the sweep — the
 // bench subcommand's protocol-heavy workload. It returns the row plus the
-// machine's merged metrics snapshot (for event counts).
-func RunCRLStressOnce(ops int, seed uint64) (CRLStressRow, metrics.Snapshot) {
-	p := runCRLStress(ops, NewOptions(WithSeed(seed), WithTrials(1), WithQuick()))
+// machine's merged metrics snapshot (for event counts). Extra options layer
+// over the quick single-trial defaults (the bench passes the policy).
+func RunCRLStressOnce(ops int, seed uint64, opts ...Option) (CRLStressRow, metrics.Snapshot) {
+	base := append([]Option{WithSeed(seed), WithTrials(1), WithQuick()}, opts...)
+	p := runCRLStress(ops, NewOptions(base...))
 	return p.row, p.snap
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"fugu/internal/cpu"
+	"fugu/internal/delivery"
 	"fugu/internal/faultinject"
 	"fugu/internal/glaze"
 	"fugu/internal/metrics"
@@ -134,8 +135,13 @@ type crucibleCounters struct {
 
 // CrucibleResult is the structured outcome of the crucible sweep.
 type CrucibleResult struct {
-	Rows     []CrucibleRow
-	counters []crucibleCounters
+	Rows []CrucibleRow
+	// Policy names the delivery policy the sweep ran under; KernelBuffered
+	// mirrors its Policy.KernelBuffered() and decides which causes the
+	// sweep can force at all (see RequiredCauses).
+	Policy         string
+	KernelBuffered bool
+	counters       []crucibleCounters
 }
 
 // Problems flattens every row's oracle violations, prefixed by the run.
@@ -145,6 +151,25 @@ func (r CrucibleResult) Problems() []string {
 		for _, p := range row.Problems {
 			out = append(out, fmt.Sprintf("%s trial=%d: %s", row.Plan, row.Trial, p))
 		}
+	}
+	return out
+}
+
+// RequiredCauses lists the second-case causes this sweep must force under
+// its delivery policy. A policy with no kernel-buffered mode (hardware
+// demux into protected rings) structurally cannot revoke atomicity or trip
+// software-buffer overflow control — those causes are absent by design, not
+// missed by the sweep.
+func (r CrucibleResult) RequiredCauses() []string {
+	if r.KernelBuffered {
+		return CrucibleCauses
+	}
+	out := make([]string, 0, len(CrucibleCauses))
+	for _, c := range CrucibleCauses {
+		if c == "atomicity-timeout" || c == "buffer-overflow" {
+			continue
+		}
+		out = append(out, c)
 	}
 	return out
 }
@@ -199,11 +224,12 @@ func (r CrucibleResult) Print(w io.Writer) {
 			u(row.Fast), u(row.Buffered), u(inj), u(row.Cycles),
 		})
 	}
-	fmt.Fprintln(w, "Crucible: fault plans x seeds under delivery oracles (8 nodes, all-to-all)")
+	fmt.Fprintf(w, "Crucible: fault plans x seeds under delivery oracles (8 nodes, all-to-all, policy %s)\n", r.Policy)
 	fmt.Fprintln(w, plot.Table([]string{"plan", "trial", "status", "fast", "buffered", "injected", "cycles"}, rows))
 	cov := r.CauseCoverage()
-	parts := make([]string, 0, len(CrucibleCauses))
-	for _, c := range CrucibleCauses {
+	required := r.RequiredCauses()
+	parts := make([]string, 0, len(required))
+	for _, c := range required {
 		mark := "MISSING"
 		if cov[c] {
 			mark = "forced"
@@ -224,14 +250,14 @@ func (r CrucibleResult) Print(w io.Writer) {
 // CSVFiles renders the sweep as crucible.csv.
 func (r CrucibleResult) CSVFiles() map[string]string {
 	var b strings.Builder
-	b.WriteString("plan,trial,seed,completed,cycles,fast,buffered")
+	b.WriteString("policy,plan,trial,seed,completed,cycles,fast,buffered")
 	for k := faultinject.Kind(0); k < faultinject.NumKinds; k++ {
 		b.WriteString(",inj_" + strings.ReplaceAll(k.String(), "-", "_"))
 	}
 	b.WriteString(",problems\n")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%s,%d,%d,%v,%d,%d,%d",
-			row.Plan, row.Trial, row.Seed, row.Completed, row.Cycles, row.Fast, row.Buffered)
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%v,%d,%d,%d",
+			r.Policy, row.Plan, row.Trial, row.Seed, row.Completed, row.Cycles, row.Fast, row.Buffered)
 		for _, c := range row.Injected {
 			fmt.Fprintf(&b, ",%d", c)
 		}
@@ -276,10 +302,16 @@ func crucibleExperiment() *Experiment {
 			}
 			return pts
 		},
-		Assemble: func(_ Options, results []any) (Result, error) {
+		Assemble: func(opt Options, results []any) (Result, error) {
+			pol := opt.Policy
+			if pol == nil {
+				pol = delivery.TwoCase{}
+			}
 			res := CrucibleResult{
-				Rows:     make([]CrucibleRow, len(results)),
-				counters: make([]crucibleCounters, len(results)),
+				Rows:           make([]CrucibleRow, len(results)),
+				Policy:         pol.Name(),
+				KernelBuffered: pol.KernelBuffered(),
+				counters:       make([]crucibleCounters, len(results)),
 			}
 			for i, r := range results {
 				p := r.(cruciblePoint)
@@ -428,8 +460,10 @@ func runCrucible(pl cruciblePlan, trial int, opt Options) cruciblePoint {
 //  4. span reconciliation: all spans terminal, fast/buffered tallies match
 //     the glaze delivery counters (own-recorder runs only: a shared doctor
 //     recorder spans several machines and reconciles elsewhere);
-//  5. per-node conservation: arrivals = user disposes + kernel disposes,
-//     kernel disposes = inserts + kernel messages, and no strays.
+//  5. per-node conservation: arrivals = user disposes + kernel disposes +
+//     hardware demuxes (the last is zero unless the delivery policy demuxes
+//     in hardware), kernel disposes = inserts + kernel messages, and no
+//     strays.
 func crucibleOracles(m *glaze.Machine, job *glaze.Job, rec *spans.Recorder, ownRec bool, snap metrics.Snapshot, seen []uint32, sends int) []string {
 	var problems []string
 	if rep := rec.Report(); rep != nil {
@@ -478,13 +512,14 @@ func crucibleOracles(m *glaze.Machine, job *glaze.Job, rec *spans.Recorder, ownR
 		arrived := ns.Counters["nic.arrived"]
 		disposed := ns.Counters["nic.disposed"]
 		kdisposed := ns.Counters["nic.kdisposed"]
+		demuxed := ns.Counters["nic.demuxed"]
 		inserts := ns.Counters["glaze.buffer.inserts"]
 		kernelMsgs := ns.Counters["glaze.kernel_msgs"]
 		stray := ns.Counters["glaze.stray_messages"]
-		if arrived != disposed+kdisposed {
+		if arrived != disposed+kdisposed+demuxed {
 			problems = append(problems, fmt.Sprintf(
-				"node %d conservation: arrived %d != disposed %d + kdisposed %d",
-				node.Index, arrived, disposed, kdisposed))
+				"node %d conservation: arrived %d != disposed %d + kdisposed %d + demuxed %d",
+				node.Index, arrived, disposed, kdisposed, demuxed))
 		}
 		if kdisposed != inserts+kernelMsgs+stray {
 			problems = append(problems, fmt.Sprintf(

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"fugu/internal/delivery"
 	"fugu/internal/faultinject"
 )
 
@@ -29,6 +30,41 @@ func TestCrucibleSmoke(t *testing.T) {
 	}
 	if len(res.Rows) != len(cruciblePlans()) {
 		t.Errorf("got %d rows, want one per plan (%d)", len(res.Rows), len(cruciblePlans()))
+	}
+}
+
+// TestCruciblePolicySweep runs the quick sweep under every registered
+// delivery policy: the oracles must hold and every cause the policy can
+// express must be forced. This is the in-repo mirror of the CI matrix that
+// sweeps `fugusim crucible -policy` over the registry.
+func TestCruciblePolicySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	for _, name := range delivery.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pol, err := delivery.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Crucible(WithQuick(), WithTrials(1), WithSeed(1), WithDeliveryPolicy(pol))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Policy != name {
+				t.Errorf("result policy = %q, want %q", res.Policy, name)
+			}
+			for _, p := range res.Problems() {
+				t.Errorf("oracle violation: %s", p)
+			}
+			cov := res.CauseCoverage()
+			for _, cause := range res.RequiredCauses() {
+				if !cov[cause] {
+					t.Errorf("second-case cause %q never forced under %s", cause, name)
+				}
+			}
+		})
 	}
 }
 

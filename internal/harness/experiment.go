@@ -72,6 +72,7 @@ func init() {
 	register(fig10Experiment())
 	register(crlStressExperiment())
 	register(crucibleExperiment())
+	register(policyLabExperiment())
 }
 
 // Experiments returns every registered experiment in registration order.

@@ -5,6 +5,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"testing"
+
+	"fugu/internal/delivery"
 )
 
 // Golden SHA-256 hashes of every CSV the experiments emit at the canonical
@@ -73,6 +75,36 @@ func TestGoldenCSVs(t *testing.T) {
 	for name, want := range goldenFast {
 		name, want := name, want
 		t.Run(name, func(t *testing.T) { checkGolden(t, name, want) })
+	}
+}
+
+// TestGoldenExplicitTwoCase pins the DeliveryPolicy seam itself: selecting
+// delivery.TwoCase explicitly must be byte-identical to the machine default
+// (nil policy). The refactor moved the virtual software buffer behind the
+// Policy interface; this test is the proof no cost, rng draw or event
+// reordered on the way.
+func TestGoldenExplicitTwoCase(t *testing.T) {
+	for _, name := range []string{"table4", "fig9"} {
+		want := goldenFast[name]
+		exp, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("experiment %q not registered", name)
+		}
+		res, err := (&Runner{}).Run(context.Background(), exp,
+			WithQuick(), WithTrials(1), WithSeed(1), WithParallelism(1),
+			WithDeliveryPolicy(delivery.TwoCase{}))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		files := res.(CSVer).CSVFiles()
+		for file, wantHash := range want {
+			sum := sha256.Sum256([]byte(files[file]))
+			if got := hex.EncodeToString(sum[:]); got != wantHash {
+				t.Errorf("%s with explicit TwoCase: %s hash = %s, want golden %s "+
+					"(selecting the default policy must be bit-identical to not selecting one)",
+					name, file, got, wantHash)
+			}
+		}
 	}
 }
 

@@ -92,10 +92,10 @@ func TestZeroSkewMultiprogIsTwiceStandalone(t *testing.T) {
 }
 
 func TestQuantumForScales(t *testing.T) {
-	if DefaultOptions().QuantumFor() != Quantum {
+	if NewOptions().QuantumFor() != Quantum {
 		t.Error("full options quantum != paper's 500k")
 	}
-	if QuickOptions().QuantumFor() >= Quantum {
+	if NewOptions(WithQuick(), WithTrials(1)).QuantumFor() >= Quantum {
 		t.Error("quick quantum not scaled down")
 	}
 }
@@ -145,7 +145,7 @@ func TestFig10ShapeQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	r, err := Fig10(Options{Quick: true, Trials: 1, Seed: 1})
+	r, err := Fig10(WithQuick(), WithTrials(1))
 	if err != nil {
 		t.Fatal(err)
 	}

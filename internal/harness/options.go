@@ -3,6 +3,7 @@ package harness
 import (
 	"runtime"
 
+	"fugu/internal/delivery"
 	"fugu/internal/faultinject"
 	"fugu/internal/glaze"
 	"fugu/internal/spans"
@@ -10,9 +11,7 @@ import (
 )
 
 // Options is the resolved experiment configuration. Construct it with
-// NewOptions and functional Option values; the struct itself is kept
-// exported (and implements Option) so legacy callers that built it
-// positionally keep compiling.
+// NewOptions and functional Option values.
 type Options struct {
 	Quick  bool
 	Trials int // paper averages 3 trials
@@ -40,6 +39,10 @@ type Options struct {
 	// parallel points stay independent; a disarmed plan is bit-identical to
 	// no plan at all.
 	Faults *faultinject.Plan
+	// Policy, when non-nil, selects the delivery policy on every point
+	// machine. Nil leaves the machine default (delivery.TwoCase), keeping
+	// default runs bit-identical.
+	Policy delivery.Policy
 }
 
 // Option configures an experiment run.
@@ -48,13 +51,6 @@ type Option interface{ applyOption(*Options) }
 type optionFunc func(*Options)
 
 func (f optionFunc) applyOption(o *Options) { f(o) }
-
-// applyOption lets a whole Options struct be passed where an Option is
-// expected, replacing the option set wholesale.
-//
-// Deprecated: pass individual Option values (WithTrials, WithQuick,
-// WithSeed, WithParallelism) instead of a positional struct.
-func (o Options) applyOption(dst *Options) { *dst = o }
 
 // WithTrials sets the number of trials averaged per sweep point.
 func WithTrials(n int) Option { return optionFunc(func(o *Options) { o.Trials = n }) }
@@ -95,6 +91,12 @@ func WithFaults(plan *faultinject.Plan) Option {
 	return optionFunc(func(o *Options) { o.Faults = plan })
 }
 
+// WithDeliveryPolicy selects the delivery policy on every point machine
+// (see Options.Policy).
+func WithDeliveryPolicy(p delivery.Policy) Option {
+	return optionFunc(func(o *Options) { o.Policy = p })
+}
+
 // NewOptions resolves a full option set: the paper's defaults (full sizes,
 // 3 trials, seed 1) overlaid with the given options.
 func NewOptions(opts ...Option) Options {
@@ -104,16 +106,6 @@ func NewOptions(opts ...Option) Options {
 	}
 	return o
 }
-
-// DefaultOptions mirror the paper: full sizes, 3 trials.
-//
-// Deprecated: use NewOptions().
-func DefaultOptions() Options { return NewOptions() }
-
-// QuickOptions are the scaled-down configuration benches use.
-//
-// Deprecated: use NewOptions(WithQuick(), WithTrials(1)).
-func QuickOptions() Options { return NewOptions(WithQuick(), WithTrials(1)) }
 
 // Quantum is the scheduler timeslice, 500,000 cycles as in Section 5.
 const Quantum = 500_000
@@ -141,7 +133,8 @@ func (o Options) trials() int { return max(1, o.Trials) }
 // Experiment points pass the result wherever a func(*glaze.Config) is
 // accepted, so options reach every machine without widening run signatures.
 func (o Options) machineMut(extra func(*glaze.Config)) func(*glaze.Config) {
-	if o.Trace == nil && o.Spans == nil && !o.Watchdog.Enabled() && o.Faults == nil && extra == nil {
+	if o.Trace == nil && o.Spans == nil && !o.Watchdog.Enabled() && o.Faults == nil &&
+		o.Policy == nil && extra == nil {
 		return nil
 	}
 	return func(cfg *glaze.Config) {
@@ -156,6 +149,9 @@ func (o Options) machineMut(extra func(*glaze.Config)) func(*glaze.Config) {
 		}
 		if o.Faults != nil {
 			cfg.Faults = o.Faults
+		}
+		if o.Policy != nil {
+			cfg.Delivery = o.Policy
 		}
 		if extra != nil {
 			extra(cfg)

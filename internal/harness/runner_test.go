@@ -169,7 +169,7 @@ func TestRunnerProgressCallback(t *testing.T) {
 }
 
 func TestRegistryNamesAndLookup(t *testing.T) {
-	want := []string{"table4", "table5", "table6", "fig7and8", "fig9", "fig10", "crlstress", "crucible"}
+	want := []string{"table4", "table5", "table6", "fig7and8", "fig9", "fig10", "crlstress", "crucible", "policylab"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Errorf("Names() = %v, want %v", got, want)
 	}
@@ -196,12 +196,7 @@ func TestOptionsResolution(t *testing.T) {
 	if !o.Quick || o.Trials != 1 || o.Seed != 9 || o.Parallelism != 2 {
 		t.Errorf("resolved = %+v", o)
 	}
-	// The legacy struct still slots in as an Option, replacing wholesale.
-	o = NewOptions(Options{Quick: true, Trials: 5, Seed: 7})
-	if !o.Quick || o.Trials != 5 || o.Seed != 7 {
-		t.Errorf("legacy struct option = %+v", o)
-	}
-	if o.TrialSeed(2) != 9 {
+	if o.TrialSeed(2) != 11 {
 		t.Errorf("TrialSeed(2) = %d, want seed+2", o.TrialSeed(2))
 	}
 	if (Options{}).trials() != 1 {

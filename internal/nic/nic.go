@@ -78,12 +78,51 @@ type Config struct {
 	DrainPerWord    uint64 // cycles per word to drain the output buffer
 }
 
+// ConfigOption mutates a Config under construction.
+type ConfigOption func(*Config)
+
+// WithInputQueueDepth sets the receive-queue capacity in messages.
+func WithInputQueueDepth(n int) ConfigOption { return func(c *Config) { c.InputQueueDepth = n } }
+
+// WithOutputWords sets the send descriptor buffer capacity in words.
+func WithOutputWords(n int) ConfigOption { return func(c *Config) { c.OutputWords = n } }
+
+// WithTimerPreset sets the atomicity-timeout preset value.
+func WithTimerPreset(v uint64) ConfigOption { return func(c *Config) { c.TimerPreset = v } }
+
+// WithDrainPerWord sets the output drain rate in cycles per word.
+func WithDrainPerWord(v uint64) ConfigOption { return func(c *Config) { c.DrainPerWord = v } }
+
 // DefaultConfig mirrors the FUGU hardware: a small single input queue and a
 // 16-word send descriptor. The timer preset is a free parameter of the
 // design ("may be changed without affecting correctness"); 2000 cycles is
 // comfortably above any reasonable handler.
 func DefaultConfig() Config {
 	return Config{InputQueueDepth: 16, OutputWords: 16, TimerPreset: 2000, DrainPerWord: 1}
+}
+
+// NewConfig builds a Config from the defaults plus options.
+func NewConfig(opts ...ConfigOption) Config {
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// Offload is the receive-side offload engine of a hardware-demultiplexing
+// delivery policy (kernel-bypass rings): the NI consults it to admit
+// arriving user packets and to sort admitted ones into per-process stores
+// without raising interrupts. The OS layer implements it; the NI only holds
+// the hook so the hardware model never imports kernel code. Kernel packets
+// are never offloaded — they always take the mismatch interrupt.
+type Offload interface {
+	// AdmitUser is consulted before a user packet enters the input queue.
+	// Refusal NACKs the packet back into the network for sender retry.
+	AdmitUser(pkt *mesh.Packet) bool
+	// DemuxHead takes the head user packet into its owner's store. A false
+	// return leaves the packet for the mismatch interrupt path (stray GID).
+	DemuxHead(pkt *mesh.Packet) bool
 }
 
 // NI is one node's network interface.
@@ -111,12 +150,22 @@ type NI struct {
 
 	timer atomicityTimer
 
+	// off is the receive offload engine of a hardware-demultiplexing
+	// delivery policy, nil (pure two-case hardware) unless SetOffload is
+	// called. demuxing guards the demux loop against reentrance: popping a
+	// demuxed head re-offers network backpressure, which can deliver the
+	// next packet and re-enter evaluate synchronously.
+	off      Offload
+	demuxing bool
+
 	// Statistics.
 	arrived   uint64
 	refused   uint64
 	launched  uint64
 	disposed  uint64
 	kdisposed uint64
+	demuxed   uint64 // user packets sorted by the offload engine
+	nacked    uint64 // user packets refused by offload admission
 
 	// Metrics instruments, nil (no-op) unless UseMetrics is called.
 	mArrived   *metrics.Counter
@@ -125,6 +174,9 @@ type NI struct {
 	mDisposed  *metrics.Counter
 	mKDisposed *metrics.Counter
 	mQueueLen  *metrics.Gauge
+	mDemuxed   *metrics.Counter // registered only when an offload is set
+	mNacked    *metrics.Counter
+	reg        *metrics.Registry
 
 	// rec observes message lifecycles, nil (no-op) unless UseSpans is called.
 	rec *spans.Recorder
@@ -150,12 +202,34 @@ func (ni *NI) UseFaults(inj *faultinject.Injector) { ni.inj = inj }
 // ".kdisposed") and a "nic.queue_len" gauge whose Max is the deepest the
 // input queue ever got.
 func (ni *NI) UseMetrics(r *metrics.Registry) {
+	ni.reg = r
 	ni.mArrived = r.Counter("nic.arrived")
 	ni.mRefused = r.Counter("nic.refused")
 	ni.mLaunched = r.Counter("nic.launched")
 	ni.mDisposed = r.Counter("nic.disposed")
 	ni.mKDisposed = r.Counter("nic.kdisposed")
 	ni.mQueueLen = r.Gauge("nic.queue_len")
+	ni.bindOffloadMetrics()
+}
+
+// SetOffload installs (or clears) the receive offload engine. The demux
+// counters ("nic.demuxed", "nic.nacked") are registered only when an
+// offload exists, so the default policy's metric snapshots keep their
+// exact key set.
+func (ni *NI) SetOffload(off Offload) {
+	ni.off = off
+	ni.bindOffloadMetrics()
+	if off != nil {
+		ni.evaluate()
+	}
+}
+
+func (ni *NI) bindOffloadMetrics() {
+	if ni.off == nil || ni.reg == nil {
+		return
+	}
+	ni.mDemuxed = ni.reg.Counter("nic.demuxed")
+	ni.mNacked = ni.reg.Counter("nic.nacked")
 }
 
 // New creates an NI for node and registers it as the node's endpoint on the
@@ -191,6 +265,13 @@ func (ni *NI) Arrive(pkt *mesh.Packet) bool {
 	if len(ni.in) >= ni.cfg.InputQueueDepth {
 		ni.refused++
 		ni.mRefused.Inc()
+		return false
+	}
+	if ni.off != nil && !HeaderIsKernel(pkt.Words[0]) && !ni.off.AdmitUser(pkt) {
+		// Offload admission refused (destination ring full or unknown
+		// geometry): NACK the packet back into the network for retry.
+		ni.nacked++
+		ni.mNacked.Inc()
 		return false
 	}
 	ni.arrived++
@@ -313,6 +394,9 @@ func (ni *NI) popHead() {
 // interrupt is raised per head message per routing decision.
 func (ni *NI) evaluate() {
 	defer ni.timer.update()
+	if ni.off != nil {
+		ni.demuxLoop()
+	}
 	if len(ni.in) == 0 {
 		return
 	}
@@ -332,6 +416,41 @@ func (ni *NI) evaluate() {
 			ni.intr.MismatchAvailable()
 		}
 	}
+}
+
+// demuxLoop sorts user packets at the head of the queue into their owners'
+// stores through the offload engine, without interrupting any processor.
+// Kernel packets and packets the engine refuses (stray GIDs) are left at
+// the head for the mismatch interrupt. Popping a head re-offers network
+// backpressure, which can synchronously deliver the next packet and
+// re-enter evaluate; the demuxing guard collapses that recursion into this
+// loop's next iteration.
+func (ni *NI) demuxLoop() {
+	if ni.demuxing {
+		return
+	}
+	ni.demuxing = true
+	for len(ni.in) > 0 {
+		pkt := ni.in[0]
+		if HeaderIsKernel(pkt.Words[0]) {
+			break
+		}
+		if !ni.off.DemuxHead(pkt) {
+			break
+		}
+		ni.demuxed++
+		ni.mDemuxed.Inc()
+		ni.popHead()
+	}
+	ni.demuxing = false
+}
+
+// NotifyInputSpace re-offers backpressured packets to this NI. A
+// hardware-demultiplexing policy calls it when ring space frees: admission
+// refusals parked senders' packets in the network, and nothing else would
+// wake them.
+func (ni *NI) NotifyInputSpace() {
+	ni.net.NotifySpace(ni.node, mesh.Main)
 }
 
 // ---------------------------------------------------------------------------
@@ -522,3 +641,11 @@ func (ni *NI) TimerRemaining() uint64 { return ni.timer.remainingNow() }
 func (ni *NI) Stats() (arrived, refused, launched, disposed, kdisposed uint64) {
 	return ni.arrived, ni.refused, ni.launched, ni.disposed, ni.kdisposed
 }
+
+// Demuxed reports user packets sorted into per-process stores by the
+// offload engine (always zero without one).
+func (ni *NI) Demuxed() uint64 { return ni.demuxed }
+
+// Nacked reports user packets refused by offload admission and bounced back
+// into the network for retry (always zero without an offload).
+func (ni *NI) Nacked() uint64 { return ni.nacked }

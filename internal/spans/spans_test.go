@@ -72,7 +72,7 @@ func TestCheckFlagsStuckAndMismatchedCounts(t *testing.T) {
 	probs := strings.Join(r.Check(5, 0), "\n")
 	for _, want := range []string{
 		"never reached a terminal state",
-		"fast spans (0) != glaze.deliver.fast (5)",
+		"fast spans (0) + mid-read flips (0) != glaze.deliver.fast (5)",
 		"buffer inserts (1) != glaze.deliver.buffered (0)",
 		"stuck in a software buffer",
 	} {

@@ -48,12 +48,23 @@ func (ep *EP) extract(t *cpu.Task, perWordCost uint64) *Msg {
 	if c := perWordCost * uint64(len(m.Args)); c > 0 {
 		t.Spend(c)
 	}
-	if rec := p.Kernel().Machine().Spans; rec != nil {
-		if id, ok := p.HeadID(); ok {
-			rec.Dispatch(t.Now(), id, m.Handler)
+	rec := p.Kernel().Machine().Spans
+	id, haveID := p.HeadID()
+	if rec != nil && haveID {
+		rec.Dispatch(t.Now(), id, m.Handler)
+	}
+	fastDispose := p.Kernel().UserDispose(t, p)
+	if fast && !fastDispose {
+		// Mid-read mode flip: the word-read Spend above let a context switch
+		// divert the half-read head into the second-case store, so the
+		// dispose just drained it from there. The receive is charged and
+		// tallied as a fast delivery (the words came off the NI) while the
+		// kernel also booked the insert as a buffered one — tell the span
+		// recorder so reconciliation credits the span to both paths.
+		if rec != nil && haveID {
+			rec.FlipFast(t.Now(), id, p.Node())
 		}
 	}
-	p.Kernel().UserDispose(t, p)
 	if haveSent {
 		p.ObserveLatency(fast, t.Now()-sentAt)
 	}
