@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"fugu/internal/apps"
 	"fugu/internal/harness"
 	"fugu/internal/metrics"
+	"fugu/internal/telemetry"
 )
 
 // BenchRow is one workload's measurement in the machine-readable report.
@@ -36,8 +38,11 @@ func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	common := registerCommon(fs)
 	out := fs.String("o", "BENCH_4.json", "write the JSON report to this path (- for stdout only)")
+	force := fs.Bool("force", false, "overwrite an existing -o report file")
 	baseline := fs.String("baseline", "", "compare against this committed report; exit 1 on regression")
 	maxRegress := fs.Float64("max-regress", 0.20, "tolerated fractional throughput drop vs -baseline")
+	maxAllocRegress := fs.Float64("max-alloc-regress", 0.10,
+		"tolerated fractional allocs/event growth vs -baseline (plus a 0.01 absolute epsilon)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the bench run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	fs.Usage = func() {
@@ -49,6 +54,15 @@ func benchCmd(args []string) {
 		os.Exit(2)
 	}
 	common.resolve()
+	// Refuse a clobbering -o before the measurement, not after: a bench run
+	// that ends by silently destroying the committed baseline is the worst
+	// failure order.
+	if *out != "-" {
+		if err := prepareOutputPath(*out, *force); err != nil {
+			fmt.Fprintf(os.Stderr, "fugusim: bench: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	stopProf, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
@@ -67,35 +81,47 @@ func benchCmd(args []string) {
 	if common.policy != nil {
 		crlOpts = append(crlOpts, harness.WithDeliveryPolicy(common.policy))
 	}
+	if tc := common.telemetryConfig(); tc.Enabled() {
+		crlOpts = append(crlOpts, harness.WithTelemetry(tc))
+	}
 	snaps := map[string]metrics.Snapshot{}
-	keep := func(name string, cycles uint64, snap metrics.Snapshot) (uint64, metrics.Snapshot) {
+	tlsByName := map[string]telemetry.Timeline{}
+	keep := func(name string, cycles uint64, snap metrics.Snapshot, tl telemetry.Timeline) (uint64, metrics.Snapshot) {
 		snaps[name] = snap
+		tlsByName[name] = tl
 		return cycles, snap
 	}
 	rows := []BenchRow{
 		measure("barrier", func() (uint64, metrics.Snapshot) {
 			rs := harness.RunStandaloneMut(func() apps.Instance { return apps.NewBarrierApp(barrierN) }, s, mut)
 			mustOK("barrier", rs.Err)
-			return keep("barrier", rs.Runtime, rs.Metrics)
+			return keep("barrier", rs.Runtime, rs.Metrics, rs.Timeline)
 		}),
 		measure("synth", func() (uint64, metrics.Snapshot) {
 			rs := harness.RunMultiprogrammedQ(
 				func() apps.Instance { return apps.NewSynth(100, 20, 100) },
 				0, s, 50_000, mut)
 			mustOK("synth", rs.Err)
-			return keep("synth", rs.Runtime, rs.Metrics)
+			return keep("synth", rs.Runtime, rs.Metrics, rs.Timeline)
 		}),
 		measure("crlstress", func() (uint64, metrics.Snapshot) {
-			row, snap := harness.RunCRLStressOnce(crlOps, s, crlOpts...)
+			row, snap, tl := harness.RunCRLStressOnce(crlOps, s, crlOpts...)
 			if !row.Completed {
 				mustOK("crlstress", fmt.Errorf("workload wedged"))
 			}
 			if row.Total != row.Expected {
 				mustOK("crlstress", fmt.Errorf("lost updates: total %d, expected %d", row.Total, row.Expected))
 			}
-			return keep("crlstress", row.Cycles, snap)
+			return keep("crlstress", row.Cycles, snap, tl)
 		}),
 	}
+	var labeled []telemetry.LabeledTimeline
+	for i, r := range rows {
+		if tl := tlsByName[r.Workload]; !tl.Empty() {
+			labeled = append(labeled, telemetry.LabeledTimeline{Point: i, Label: r.Workload, Timeline: tl})
+		}
+	}
+	common.writeTimelines("bench", labeled)
 
 	if *common.metricsDir != "" {
 		for _, r := range rows {
@@ -123,7 +149,9 @@ func benchCmd(args []string) {
 	}
 
 	if *baseline != "" {
-		if !compareBaseline(rows, *baseline, *maxRegress) {
+		report, ok := compareBaseline(rows, *baseline, *maxRegress, *maxAllocRegress)
+		fmt.Fprint(os.Stderr, report)
+		if !ok {
 			os.Exit(1)
 		}
 	}
@@ -163,43 +191,76 @@ func mustOK(name string, err error) {
 	}
 }
 
-// compareBaseline checks each measured workload's throughput against the
-// committed report, tolerating a maxRegress fractional drop. Workloads
-// missing from the baseline pass (new workloads shouldn't brick CI); a
-// workload present only in the baseline fails, so coverage cannot silently
-// shrink.
-func compareBaseline(rows []BenchRow, path string, maxRegress float64) bool {
+// allocAbsEpsilon is the absolute slack added to the allocs/event ceiling:
+// at the baseline's event counts (hundreds of thousands of events) a 0.01
+// allocs/event drift is a few thousand allocations — measurement noise, not
+// a leak — while a telemetry path accidentally left on in the default
+// configuration costs an allocation every sample and clears the bar.
+const allocAbsEpsilon = 0.01
+
+// compareBaseline checks each measured workload against the committed
+// report and returns a per-workload delta report plus the verdict. Two
+// gates per workload: throughput (Mcycles/s) must not drop more than
+// maxRegress below baseline, and allocs/event must not grow more than
+// maxAllocRegress above baseline (plus allocAbsEpsilon absolute slack) —
+// the latter is what keeps telemetry-disabled runs at zero added
+// allocations per event. ns/event is reported for context but not gated;
+// it moves with host load in ways the throughput gate already bounds.
+// Workloads missing from the baseline pass (new workloads shouldn't brick
+// CI); a workload present only in the baseline fails, so coverage cannot
+// silently shrink.
+func compareBaseline(rows []BenchRow, path string, maxRegress, maxAllocRegress float64) (string, bool) {
+	var b strings.Builder
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "fugusim: bench: baseline: %v\n", err)
-		return false
+		fmt.Fprintf(&b, "fugusim: bench: baseline: %v\n", err)
+		return b.String(), false
 	}
 	var base []BenchRow
 	if err := json.Unmarshal(data, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "fugusim: bench: baseline %s: %v\n", path, err)
-		return false
+		fmt.Fprintf(&b, "fugusim: bench: baseline %s: %v\n", path, err)
+		return b.String(), false
 	}
 	measured := make(map[string]BenchRow, len(rows))
 	for _, r := range rows {
 		measured[r.Workload] = r
 	}
+	pct := func(cur, ref float64) string {
+		if ref == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", (cur-ref)/ref*100)
+	}
 	ok := true
-	for _, b := range base {
-		r, found := measured[b.Workload]
+	for _, bl := range base {
+		r, found := measured[bl.Workload]
 		if !found {
-			fmt.Fprintf(os.Stderr, "bench: FAIL %s: in baseline but not measured\n", b.Workload)
+			fmt.Fprintf(&b, "bench: FAIL %s: in baseline but not measured\n", bl.Workload)
 			ok = false
 			continue
 		}
-		floor := b.McyclesPerSec * (1 - maxRegress)
+		floor := bl.McyclesPerSec * (1 - maxRegress)
+		ceil := bl.AllocsPerEvent*(1+maxAllocRegress) + allocAbsEpsilon
+		verdict := "ok  "
+		var why []string
 		if r.McyclesPerSec < floor {
-			fmt.Fprintf(os.Stderr, "bench: FAIL %s: %.2f Mcycles/s < floor %.2f (baseline %.2f, tolerance %.0f%%)\n",
-				b.Workload, r.McyclesPerSec, floor, b.McyclesPerSec, maxRegress*100)
+			why = append(why, fmt.Sprintf("throughput %.2f < floor %.2f", r.McyclesPerSec, floor))
+		}
+		if r.AllocsPerEvent > ceil {
+			why = append(why, fmt.Sprintf("allocs/event %.4f > ceiling %.4f", r.AllocsPerEvent, ceil))
+		}
+		if len(why) > 0 {
+			verdict = "FAIL"
 			ok = false
-		} else {
-			fmt.Fprintf(os.Stderr, "bench: ok %s: %.2f Mcycles/s vs baseline %.2f (floor %.2f)\n",
-				b.Workload, r.McyclesPerSec, b.McyclesPerSec, floor)
+		}
+		fmt.Fprintf(&b, "bench: %s %-10s Mcycles/s %8.2f vs %8.2f (%s)  allocs/event %7.4f vs %7.4f (%s)  ns/event %7.1f vs %7.1f (%s)\n",
+			verdict, bl.Workload,
+			r.McyclesPerSec, bl.McyclesPerSec, pct(r.McyclesPerSec, bl.McyclesPerSec),
+			r.AllocsPerEvent, bl.AllocsPerEvent, pct(r.AllocsPerEvent, bl.AllocsPerEvent),
+			r.NsPerEvent, bl.NsPerEvent, pct(r.NsPerEvent, bl.NsPerEvent))
+		for _, w := range why {
+			fmt.Fprintf(&b, "bench:      %s: %s\n", bl.Workload, w)
 		}
 	}
-	return ok
+	return b.String(), ok
 }

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBaseline marshals rows to a temp baseline file and returns its path.
+func writeBaseline(t *testing.T, rows []BenchRow) string {
+	t.Helper()
+	data, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareBaseline covers the bench gate: per-workload delta reporting,
+// the throughput floor, the allocs/event ceiling (the zero-added-allocations
+// assertion for telemetry-disabled runs), and the coverage rules.
+func TestCompareBaseline(t *testing.T) {
+	base := []BenchRow{
+		{Workload: "barrier", McyclesPerSec: 2.0, AllocsPerEvent: 0.08, NsPerEvent: 500},
+		{Workload: "synth", McyclesPerSec: 40.0, AllocsPerEvent: 0.16, NsPerEvent: 300},
+	}
+	path := writeBaseline(t, base)
+
+	t.Run("pass with deltas reported", func(t *testing.T) {
+		rows := []BenchRow{
+			{Workload: "barrier", McyclesPerSec: 1.9, AllocsPerEvent: 0.081, NsPerEvent: 520},
+			{Workload: "synth", McyclesPerSec: 44.0, AllocsPerEvent: 0.15, NsPerEvent: 280},
+		}
+		report, ok := compareBaseline(rows, path, 0.20, 0.10)
+		if !ok {
+			t.Fatalf("healthy run failed the gate:\n%s", report)
+		}
+		for _, want := range []string{"barrier", "synth", "Mcycles/s", "allocs/event", "ns/event", "%"} {
+			if !strings.Contains(report, want) {
+				t.Errorf("report lacks %q:\n%s", want, report)
+			}
+		}
+		if strings.Contains(report, "FAIL") {
+			t.Errorf("healthy run reported FAIL:\n%s", report)
+		}
+	})
+
+	t.Run("throughput regression fails with numbers", func(t *testing.T) {
+		rows := []BenchRow{
+			{Workload: "barrier", McyclesPerSec: 1.0, AllocsPerEvent: 0.08, NsPerEvent: 900},
+			{Workload: "synth", McyclesPerSec: 40.0, AllocsPerEvent: 0.16, NsPerEvent: 300},
+		}
+		report, ok := compareBaseline(rows, path, 0.20, 0.10)
+		if ok {
+			t.Fatalf("regressed run passed the gate:\n%s", report)
+		}
+		if !strings.Contains(report, "FAIL barrier") || !strings.Contains(report, "throughput 1.00 < floor 1.60") {
+			t.Errorf("report does not name the regression and its numbers:\n%s", report)
+		}
+		if !strings.Contains(report, "ok   synth") {
+			t.Errorf("healthy sibling workload not reported ok:\n%s", report)
+		}
+	})
+
+	t.Run("alloc growth fails", func(t *testing.T) {
+		// 0.08 -> 0.12 allocs/event is the signature of a telemetry path
+		// accidentally enabled by default; the ceiling is 0.08*1.1+0.01.
+		rows := []BenchRow{
+			{Workload: "barrier", McyclesPerSec: 2.0, AllocsPerEvent: 0.12, NsPerEvent: 500},
+			{Workload: "synth", McyclesPerSec: 40.0, AllocsPerEvent: 0.16, NsPerEvent: 300},
+		}
+		report, ok := compareBaseline(rows, path, 0.20, 0.10)
+		if ok {
+			t.Fatalf("alloc-regressed run passed the gate:\n%s", report)
+		}
+		if !strings.Contains(report, "allocs/event 0.1200 > ceiling") {
+			t.Errorf("report does not call out the alloc ceiling:\n%s", report)
+		}
+	})
+
+	t.Run("alloc epsilon tolerates noise at zero baseline", func(t *testing.T) {
+		zbase := writeBaseline(t, []BenchRow{{Workload: "barrier", McyclesPerSec: 2.0}})
+		rows := []BenchRow{{Workload: "barrier", McyclesPerSec: 2.0, AllocsPerEvent: 0.005}}
+		if report, ok := compareBaseline(rows, zbase, 0.20, 0.10); !ok {
+			t.Errorf("sub-epsilon alloc noise failed the gate:\n%s", report)
+		}
+		rows[0].AllocsPerEvent = 0.05
+		if report, ok := compareBaseline(rows, zbase, 0.20, 0.10); ok {
+			t.Errorf("real alloc growth over a zero baseline passed:\n%s", report)
+		}
+	})
+
+	t.Run("missing workload fails, extra workload passes", func(t *testing.T) {
+		rows := []BenchRow{
+			{Workload: "barrier", McyclesPerSec: 2.0, AllocsPerEvent: 0.08, NsPerEvent: 500},
+			{Workload: "newbie", McyclesPerSec: 0.1, AllocsPerEvent: 9.0, NsPerEvent: 9e6},
+		}
+		report, ok := compareBaseline(rows, path, 0.20, 0.10)
+		if ok {
+			t.Fatal("shrunk coverage passed the gate")
+		}
+		if !strings.Contains(report, "synth: in baseline but not measured") {
+			t.Errorf("report does not flag the missing workload:\n%s", report)
+		}
+		if strings.Contains(report, "newbie") {
+			t.Errorf("workload absent from the baseline was judged:\n%s", report)
+		}
+	})
+
+	t.Run("unreadable or corrupt baseline fails", func(t *testing.T) {
+		if _, ok := compareBaseline(nil, filepath.Join(t.TempDir(), "nope.json"), 0.2, 0.1); ok {
+			t.Error("missing baseline file passed")
+		}
+		bad := filepath.Join(t.TempDir(), "bad.json")
+		os.WriteFile(bad, []byte("{not json"), 0o644)
+		if _, ok := compareBaseline(nil, bad, 0.2, 0.1); ok {
+			t.Error("corrupt baseline passed")
+		}
+	})
+}

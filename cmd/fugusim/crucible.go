@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fugu/internal/harness"
+	"fugu/internal/telemetry"
 )
 
 // crucibleCmd implements `fugusim crucible`: run the fault-injection sweep
@@ -65,6 +66,8 @@ func crucibleCmd(args []string) {
 	if *common.metricsDir != "" {
 		runner.OnMetrics = writeMetrics(*common.metricsDir, "crucible")
 	}
+	var tls []telemetry.LabeledTimeline
+	common.timelineHook(runner, &tls)
 	exp, _ := harness.Lookup("crucible")
 	start := time.Now()
 	res, err := runner.Run(ctx, exp, opts...)
@@ -72,6 +75,7 @@ func crucibleCmd(args []string) {
 		fmt.Fprintf(os.Stderr, "fugusim: crucible: %v\n", err)
 		os.Exit(1)
 	}
+	common.writeTimelines("crucible", tls)
 	res.Print(os.Stdout)
 	fmt.Printf("(crucible took %.1fs)\n", time.Since(start).Seconds())
 	cres := res.(harness.CrucibleResult)

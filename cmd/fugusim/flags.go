@@ -4,10 +4,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fugu/internal/delivery"
 	"fugu/internal/glaze"
 	"fugu/internal/harness"
+	"fugu/internal/telemetry"
 )
 
 // commonFlags is the flag block every fugusim subcommand shares — the
@@ -22,6 +24,13 @@ type commonFlags struct {
 	metricsDir *string
 	policyName *string
 
+	// Timeline telemetry: -timeline enables the flight recorder on every
+	// point machine and names the export directory; the companion flags
+	// tune the sampling interval and ring capacity.
+	timelineDir *string
+	tlEvery     *uint64
+	tlCap       *int
+
 	// policy is the resolved delivery policy, nil when -policy was not given
 	// (the machine default, delivery.TwoCase, then applies).
 	policy delivery.Policy
@@ -34,6 +43,12 @@ func registerCommon(fs *flag.FlagSet) *commonFlags {
 	c.full = fs.Bool("full", false, "run the paper-scale workloads (slow)")
 	c.seed = fs.Uint64("seed", 1, "base random seed (trial t runs at seed+t)")
 	c.metricsDir = fs.String("metrics", "", "write merged registry snapshots (JSON+CSV) into this directory")
+	c.timelineDir = fs.String("timeline", "",
+		"enable interval sampling and write flight-recorder timelines (CSV+JSONL) into this directory")
+	c.tlEvery = fs.Uint64("timeline-every", 0,
+		fmt.Sprintf("sampling interval in simulated cycles (default %d; implies -timeline sampling)", telemetry.DefaultEvery))
+	c.tlCap = fs.Int("timeline-cap", 0,
+		fmt.Sprintf("flight-recorder ring capacity in intervals (default %d)", telemetry.DefaultCap))
 	c.policyName = fs.String("policy", "",
 		fmt.Sprintf("delivery policy, one of %v (default: twocase)", delivery.Names()))
 	return c
@@ -70,16 +85,76 @@ func (c *commonFlags) harnessOptions() []harness.Option {
 	if c.policy != nil {
 		opts = append(opts, harness.WithDeliveryPolicy(c.policy))
 	}
+	if tc := c.telemetryConfig(); tc.Enabled() {
+		opts = append(opts, harness.WithTelemetry(tc))
+	}
 	return opts
+}
+
+// telemetryConfig resolves the timeline flags into a sampling config —
+// disabled (the zero value) unless -timeline or -timeline-every was given.
+func (c *commonFlags) telemetryConfig() telemetry.Config {
+	if *c.timelineDir == "" && *c.tlEvery == 0 {
+		return telemetry.Config{}
+	}
+	every := *c.tlEvery
+	if every == 0 {
+		every = telemetry.DefaultEvery
+	}
+	return telemetry.Config{Every: every, Cap: *c.tlCap}
+}
+
+// timelineHook wires the Runner's OnTimeline callback to accumulate into
+// tls when -timeline is set, else leaves the runner untouched.
+func (c *commonFlags) timelineHook(r *harness.Runner, tls *[]telemetry.LabeledTimeline) {
+	if *c.timelineDir == "" {
+		return
+	}
+	r.OnTimeline = func(point int, label string, tl telemetry.Timeline) {
+		*tls = append(*tls, telemetry.LabeledTimeline{Point: point, Label: label, Timeline: tl})
+	}
+}
+
+// writeTimelines exports the accumulated timelines as <name>.timeline.csv
+// and .jsonl under the -timeline directory. No timelines, no files.
+func (c *commonFlags) writeTimelines(name string, tls []telemetry.LabeledTimeline) {
+	if *c.timelineDir == "" || len(tls) == 0 {
+		return
+	}
+	var csvB, jsonB strings.Builder
+	err := telemetry.WriteCSV(&csvB, tls)
+	if err == nil {
+		err = telemetry.WriteJSONL(&jsonB, tls)
+	}
+	if err == nil {
+		err = harness.WriteCSV(*c.timelineDir, name+".timeline.csv", csvB.String())
+	}
+	if err == nil {
+		err = harness.WriteCSV(*c.timelineDir, name+".timeline.jsonl", jsonB.String())
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: timeline: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 // configMut returns a machine-config mutator applying the shared flags to
 // workloads driven outside the harness Options path (the bench runners), or
-// nil when the machine defaults already match.
+// nil when the machine defaults already match. Each invocation installs a
+// fresh flight recorder, so a mutator reused across machines still keeps
+// per-machine timelines independent.
 func (c *commonFlags) configMut() func(*glaze.Config) {
-	if c.policy == nil {
+	tc := c.telemetryConfig()
+	if c.policy == nil && !tc.Enabled() {
 		return nil
 	}
 	pol := c.policy
-	return func(cfg *glaze.Config) { cfg.Delivery = pol }
+	return func(cfg *glaze.Config) {
+		if pol != nil {
+			cfg.Delivery = pol
+		}
+		if tc.Enabled() {
+			cfg.Telemetry = telemetry.NewRecorder(tc)
+		}
+	}
 }

@@ -9,6 +9,7 @@
 //	fugusim trace [flags] <experiment>
 //	fugusim doctor [flags] <experiment>
 //	fugusim crucible [flags]
+//	fugusim watch [flags] <experiment>
 //
 // Experiments are discovered from the harness registry (`fugusim list`
 // prints them). Sweep points and trials fan out across -j workers; results
@@ -27,7 +28,15 @@
 // a diagnostic report (exit status 3) instead of hanging. `crucible` runs
 // the deterministic fault-injection sweep — every named fault plan across
 // -trials seeds — and fails unless every delivery oracle passes and every
-// second-case cause was forced at least once.
+// second-case cause was forced at least once. `watch` replays one sweep
+// point serially with interval sampling enabled and streams a live
+// terminal dashboard (fast/buffered deliveries, queue depths, pinned
+// pages, NACKs, per-node mode glyphs) as simulated time advances.
+//
+// `-timeline <dir>` (run, crucible, bench) enables the flight recorder on
+// every point machine and writes each experiment's per-interval timelines
+// as <experiment>.timeline.csv and .jsonl; `-timeline-every` tunes the
+// sampling interval in simulated cycles.
 //
 // Quick mode (default) scales workloads down so the whole suite runs in
 // minutes; -full uses the paper's sizes. This command is the only place
@@ -49,6 +58,7 @@ import (
 	"fugu/internal/harness"
 	"fugu/internal/metrics"
 	"fugu/internal/spans"
+	"fugu/internal/telemetry"
 	"fugu/internal/trace"
 )
 
@@ -68,6 +78,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  fugusim trace [flags] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "  fugusim doctor [flags] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "  fugusim crucible [flags]\n")
+		fmt.Fprintf(os.Stderr, "  fugusim watch [flags] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", harness.Names())
 		flag.PrintDefaults()
 	}
@@ -93,6 +104,9 @@ func main() {
 		return
 	case "crucible":
 		crucibleCmd(flag.Args()[1:])
+		return
+	case "watch":
+		watchCmd(flag.Args()[1:])
 		return
 	case "run":
 		// Flags may also follow the subcommand and the experiment names:
@@ -144,6 +158,8 @@ func main() {
 		if *common.metricsDir != "" {
 			runner.OnMetrics = writeMetrics(*common.metricsDir, exp.Name)
 		}
+		var tls []telemetry.LabeledTimeline
+		common.timelineHook(runner, &tls)
 		start := time.Now()
 		fmt.Printf("== %s ==\n", exp.Name)
 		res, err := runner.Run(ctx, exp, opts...)
@@ -151,6 +167,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fugusim: %s: %v\n", exp.Name, err)
 			os.Exit(1)
 		}
+		common.writeTimelines(exp.Name, tls)
 		res.Print(os.Stdout)
 		fmt.Printf("(%s took %.1fs)\n\n", exp.Name, time.Since(start).Seconds())
 		if *csvDir != "" {
@@ -198,6 +215,7 @@ func traceCmd(args []string) {
 	common := registerCommon(fs)
 	cats := fs.String("cats", "", "comma-separated categories to record (default all): mode,sched,overflow,message,span")
 	out := fs.String("o", "-", "output path (- writes to stdout)")
+	force := fs.Bool("force", false, "overwrite an existing -o output file")
 	jsonl := fs.Bool("jsonl", false, "emit JSON Lines instead of Chrome trace_event JSON")
 	point := fs.Int("point", 0, "sweep point index to trace (see -list)")
 	listPts := fs.Bool("list", false, "list the experiment's sweep points and exit")
@@ -233,6 +251,13 @@ func traceCmd(args []string) {
 	if *listPts {
 		listPoints(os.Stdout, pts)
 		return
+	}
+
+	// Refuse a clobbering -o before the run, not after: destroying the
+	// previous trace as the final act of a long replay is the worst order.
+	if err := prepareOutputPath(*out, *force); err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
+		os.Exit(2)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"fugu/internal/harness"
+	"fugu/internal/telemetry"
+)
+
+// watchHeaderEvery is how many dashboard rows print between header reprints,
+// so a long scroll never strands the reader without column names.
+const watchHeaderEvery = 20
+
+// watchCmd implements `fugusim watch`: replay one sweep point serially with
+// interval sampling enabled and stream a dashboard row per interval as
+// simulated time advances — per-interval fast/buffered deliveries, buffer
+// inserts, overflow trips, NACKs, pinned buffer pages, NI queue depths,
+// handler spans in flight and the per-node delivery-mode glyph string. The
+// stream is the flight recorder's OnSample hook, so what scrolls past is
+// exactly what `-timeline` would export; simulated time, not wall clock,
+// paces the rows.
+func watchCmd(args []string) {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	common := registerCommon(fs)
+	point := fs.Int("point", 0, "sweep point index to watch (see -list)")
+	listPts := fs.Bool("list", false, "list the experiment's sweep points and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fugusim watch [flags] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", harness.Names())
+		fs.PrintDefaults()
+	}
+	names := parseInterleaved(fs, args)
+	if len(names) != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	common.resolve()
+
+	// Watching forces sampling on even without -timeline flags; the shared
+	// flags still tune interval and ring capacity when given.
+	tc := common.telemetryConfig()
+	if !tc.Enabled() {
+		tc = telemetry.Config{Every: telemetry.DefaultEvery, Cap: *common.tlCap}
+	}
+	rowN := 0
+	tc.OnSample = func(iv telemetry.Interval) {
+		if rowN%watchHeaderEvery == 0 {
+			fmt.Printf("%-3s %-12s %7s %7s %6s %7s %6s %6s %9s %7s %8s  %s\n",
+				"ep", "cycle", "Δfast", "Δbuf", "fast%", "Δins", "Δovfl", "Δnack",
+				"pages", "queue", "inflight", "modes")
+		}
+		rowN++
+		fmt.Print(watchRow(iv))
+	}
+
+	opts := append(common.harnessOptions(),
+		harness.WithTrials(1), harness.WithParallelism(1), harness.WithTelemetry(tc))
+	opt := harness.NewOptions(opts...)
+	exp, pts, sel, err := resolvePoint(names[0], pointIndex(*point, *listPts), opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
+		os.Exit(2)
+	}
+	if *listPts {
+		listPoints(os.Stdout, pts)
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	pt := *sel
+	fmt.Fprintf(os.Stderr, "watching %s point %d (%s) every %d cycles\n",
+		exp.Name, *point, pt.Label, tc.Every)
+	res, err := pt.Run(ctx, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: %s (%s): %v\n", exp.Name, pt.Label, err)
+		os.Exit(1)
+	}
+	if c, ok := res.(harness.TimelineCarrier); ok {
+		if tl := c.TimelineData(); !tl.Empty() {
+			sum := tl.SumCounters()
+			fmt.Printf("watch: %d intervals (%d dropped from ring), final: fast=%d buffered=%d inserts=%d overflow=%d\n",
+				len(tl.Intervals), tl.Dropped,
+				sum["glaze.deliver.fast"], sum["glaze.deliver.buffered"],
+				sum["glaze.buffer.inserts"], sum["glaze.overflow.trips"])
+		}
+	}
+	if *common.metricsDir != "" {
+		if mc, ok := res.(harness.MetricsCarrier); ok {
+			writeMetrics(*common.metricsDir, exp.Name)(mc.MetricsSnapshot())
+		}
+	}
+}
+
+// watchRow formats one interval as a dashboard line.
+func watchRow(iv telemetry.Interval) string {
+	fast := iv.Counters["glaze.deliver.fast"]
+	buf := iv.Counters["glaze.deliver.buffered"]
+	fastPct := "-"
+	if fast+buf > 0 {
+		fastPct = fmt.Sprintf("%5.1f", float64(fast)/float64(fast+buf)*100)
+	}
+	pages := iv.Gauges["glaze.buffer.pages"]
+	return fmt.Sprintf("%-3d %-12d %7d %7d %6s %7d %6d %6d %4d/%-4d %3d/%-3d %8d  %s\n",
+		iv.Epoch, iv.Cycle, fast, buf, fastPct,
+		iv.Counters["glaze.buffer.inserts"],
+		iv.Counters["glaze.overflow.trips"],
+		iv.Counters["nic.nacked"],
+		pages.Cur, pages.Max,
+		iv.QueueSum, iv.QueueMax,
+		iv.SpansInFlight, iv.Modes)
+}

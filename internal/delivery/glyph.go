@@ -1,0 +1,51 @@
+package delivery
+
+// ModeGlyph renders one process's delivery state under a policy as a single
+// timeline character — the per-node "modes" column of the telemetry flight
+// recorder:
+//
+//	'-'  direct (fast-case) delivery, store idle
+//	'b'  kernel-buffered second-case mode engaged
+//	't'  throttled by overflow control
+//	'B'  buffered and throttled at once
+//	'r'  hardware-demux ring holds a backlog (bypass-style policies,
+//	     which never enter a kernel-buffered mode)
+//	'd'  residual store backlog while already back in direct mode
+//	     (software-demux policies draining after exit)
+//
+// Buffered/throttled states are structurally impossible under a
+// hardware-demux policy, so a bypass timeline reads as runs of '-' and 'r'.
+func ModeGlyph(p Policy, buffered, throttled bool, pending int) byte {
+	switch {
+	case buffered && throttled:
+		return 'B'
+	case buffered:
+		return 'b'
+	case throttled:
+		return 't'
+	case pending > 0:
+		if p != nil && p.HardwareDemux() {
+			return 'r'
+		}
+		return 'd'
+	default:
+		return '-'
+	}
+}
+
+// GlyphRank orders mode glyphs by severity so a node hosting several
+// processes reports its worst one ('-' < 'r'/'d' < 't' < 'b' < 'B').
+func GlyphRank(g byte) int {
+	switch g {
+	case 'B':
+		return 4
+	case 'b':
+		return 3
+	case 't':
+		return 2
+	case 'r', 'd':
+		return 1
+	default:
+		return 0
+	}
+}

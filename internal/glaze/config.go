@@ -5,6 +5,7 @@ import (
 	"fugu/internal/faultinject"
 	"fugu/internal/nic"
 	"fugu/internal/spans"
+	"fugu/internal/telemetry"
 	"fugu/internal/trace"
 )
 
@@ -76,6 +77,14 @@ func WithNIConfig(opts ...nic.ConfigOption) ConfigOption {
 // organizations for head-to-head comparison.
 func WithDeliveryPolicy(p delivery.Policy) ConfigOption {
 	return func(c *Config) { c.Delivery = p }
+}
+
+// WithTelemetry attaches a flight recorder: the machine samples its
+// registry every recorder interval of simulated time and keeps the
+// interval deltas in a bounded ring (see the telemetry package). Sampling
+// never perturbs simulation results.
+func WithTelemetry(rec *telemetry.Recorder) ConfigOption {
+	return func(c *Config) { c.Telemetry = rec }
 }
 
 // WithFaults arms a deterministic fault injector executing the plan. Faults

@@ -11,6 +11,7 @@ import (
 	"fugu/internal/nic"
 	"fugu/internal/sim"
 	"fugu/internal/spans"
+	"fugu/internal/telemetry"
 	"fugu/internal/trace"
 	"fugu/internal/vm"
 )
@@ -57,6 +58,13 @@ type Config struct {
 	// Faults.Seed, so the engine RNG sequence — and therefore every
 	// fault-free golden — is untouched even with a plan installed.
 	Faults *faultinject.Plan
+
+	// Telemetry, when non-nil, attaches the flight recorder: a sampler
+	// event diffs the registry every recorder interval (simulated time).
+	// Sampling charges no cycles and draws no RNG, so results are
+	// bit-identical with or without it. A recorder is unsynchronized —
+	// give each machine its own (the harness does).
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultConfig returns the configuration the experiments use: eight nodes
@@ -117,8 +125,9 @@ type Machine struct {
 	// set. Each machine gets its own injector (the PCG state mutates).
 	Faults *faultinject.Injector
 
-	watchdog *watchdog
-	diags    []Diagnostic
+	watchdog  *watchdog
+	telemetry *telemetry.Recorder
+	diags     []Diagnostic
 
 	// Metrics holds the machine-wide instruments (engine, mesh, gang
 	// scheduler); per-node instruments live on each Node. MetricsSnapshot
@@ -191,6 +200,11 @@ func NewMachine(cfg Config, opts ...ConfigOption) *Machine {
 	}
 	if cfg.Watchdog.Enabled() {
 		m.watchdog = newWatchdog(m, cfg.Watchdog)
+	}
+	if cfg.Telemetry != nil {
+		m.telemetry = cfg.Telemetry
+		m.telemetry.AttachMachine()
+		newSampler(m, m.telemetry)
 	}
 	return m
 }

@@ -28,6 +28,11 @@ type WatchdogConfig struct {
 // Enabled reports whether the watchdog is configured to run.
 func (wc WatchdogConfig) Enabled() bool { return wc.Interval > 0 }
 
+// diagnoseIntervals is how many flight-recorder intervals Diagnose dumps —
+// enough lead-up to see a mode flip or queue ramp without drowning the
+// report.
+const diagnoseIntervals = 8
+
 // wdFingerprint summarizes observable delivery progress.
 type wdFingerprint struct {
 	begun, ended, inserts uint64
@@ -157,6 +162,23 @@ func (m *Machine) Diagnose(reason string) *spans.Report {
 			b.WriteString(s.String() + "\n")
 		}
 		rep.Sections = append(rep.Sections, spans.Section{Title: "in-flight spans", Body: b.String()})
+	}
+
+	// The flight recorder's tail shows the lead-up to the stall: delivery
+	// and overflow activity per interval, queue depths and per-node modes.
+	if recent := m.telemetry.Recent(diagnoseIntervals); len(recent) > 0 {
+		var b strings.Builder
+		for _, iv := range recent {
+			fmt.Fprintf(&b, "t=%-10d Δfast=%-6d Δbuf=%-6d Δins=%-5d Δovfl=%-3d Δnack=%-3d q=%d/%d inflight=%d modes=%s\n",
+				iv.Cycle,
+				iv.Counters["glaze.deliver.fast"], iv.Counters["glaze.deliver.buffered"],
+				iv.Counters["glaze.buffer.inserts"], iv.Counters["glaze.overflow.trips"],
+				iv.Counters["nic.nacked"],
+				iv.QueueSum, iv.QueueMax, iv.SpansInFlight, iv.Modes)
+		}
+		rep.Sections = append(rep.Sections, spans.Section{
+			Title: fmt.Sprintf("timeline (last %d intervals, every %d cycles)", len(recent), m.telemetry.Every()),
+			Body:  b.String()})
 	}
 
 	for _, d := range m.diags {

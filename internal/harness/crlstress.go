@@ -10,6 +10,7 @@ import (
 	"fugu/internal/glaze"
 	"fugu/internal/metrics"
 	"fugu/internal/plot"
+	"fugu/internal/telemetry"
 	"fugu/internal/udm"
 )
 
@@ -52,14 +53,19 @@ func (r CRLStressResult) Print(w io.Writer) {
 	fmt.Fprintln(w, plot.Table([]string{"ops/node", "status", "total", "expected", "cycles"}, rows))
 }
 
-// crlStressPoint carries one row plus the machine's metrics snapshot.
+// crlStressPoint carries one row plus the machine's metrics snapshot and
+// flight-recorder timeline.
 type crlStressPoint struct {
 	row  CRLStressRow
 	snap metrics.Snapshot
+	tl   telemetry.Timeline
 }
 
 // MetricsSnapshot implements MetricsCarrier for the Runner's metrics hook.
 func (p crlStressPoint) MetricsSnapshot() metrics.Snapshot { return p.snap }
+
+// TimelineData implements TimelineCarrier for the Runner's timeline hook.
+func (p crlStressPoint) TimelineData() telemetry.Timeline { return p.tl }
 
 // CRLStress runs the coherence stress sweep.
 func CRLStress(opts ...Option) (CRLStressResult, error) {
@@ -68,12 +74,14 @@ func CRLStress(opts ...Option) (CRLStressResult, error) {
 
 // RunCRLStressOnce executes a single stress point outside the sweep — the
 // bench subcommand's protocol-heavy workload. It returns the row plus the
-// machine's merged metrics snapshot (for event counts). Extra options layer
-// over the quick single-trial defaults (the bench passes the policy).
-func RunCRLStressOnce(ops int, seed uint64, opts ...Option) (CRLStressRow, metrics.Snapshot) {
+// machine's merged metrics snapshot (for event counts) and its
+// flight-recorder timeline (empty unless telemetry is enabled in opts).
+// Extra options layer over the quick single-trial defaults (the bench
+// passes the policy).
+func RunCRLStressOnce(ops int, seed uint64, opts ...Option) (CRLStressRow, metrics.Snapshot, telemetry.Timeline) {
 	base := append([]Option{WithSeed(seed), WithTrials(1), WithQuick()}, opts...)
 	p := runCRLStress(ops, NewOptions(base...))
-	return p.row, p.snap
+	return p.row, p.snap, p.tl
 }
 
 // crlStressExperiment sweeps the CRL stress workload over per-node op
@@ -196,6 +204,7 @@ func runCRLStress(ops int, opt Options) crlStressPoint {
 			Expected:  uint64(nodes * ops),
 			Cycles:    m.Eng.Now(),
 		},
+		tl:   m.FinishTelemetry(),
 		snap: m.MetricsSnapshot(),
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fugu/internal/metrics"
 	"fugu/internal/plot"
 	"fugu/internal/spans"
+	"fugu/internal/telemetry"
 	"fugu/internal/udm"
 	"fugu/internal/vm"
 )
@@ -38,6 +39,17 @@ type cruciblePlan struct {
 const (
 	crucibleFaultsStart = 1_000
 	crucibleFaultsLift  = 25_000
+)
+
+// Timeline-oracle knobs. Sampling every crucibleSampleEvery cycles resolves
+// the fault window (24k cycles wide) into a dozen intervals; the drain
+// margin allows withheld frames to release (FrameStarvation holds them for
+// 1<<16 cycles past injection) and the backlog to flush before the
+// timeline must show overflow quiet again.
+const (
+	crucibleSampleEvery  = 2_000
+	crucibleDrainMargin  = 200_000
+	crucibleMaxResidency = 0.25 // post-drain buffered-mode interval fraction bound
 )
 
 // cruciblePlans is the sweep. Probabilities are per-opportunity (arrival,
@@ -266,15 +278,20 @@ func (r CrucibleResult) CSVFiles() map[string]string {
 	return map[string]string{"crucible.csv": b.String()}
 }
 
-// cruciblePoint carries one row plus the machine's metrics snapshot.
+// cruciblePoint carries one row plus the machine's metrics snapshot and
+// flight-recorder timeline.
 type cruciblePoint struct {
 	row      CrucibleRow
 	counters crucibleCounters
 	snap     metrics.Snapshot
+	timeline telemetry.Timeline
 }
 
 // MetricsSnapshot implements MetricsCarrier for the Runner's metrics hook.
 func (p cruciblePoint) MetricsSnapshot() metrics.Snapshot { return p.snap }
+
+// TimelineData implements TimelineCarrier for the Runner's timeline hook.
+func (p cruciblePoint) TimelineData() telemetry.Timeline { return p.timeline }
 
 // Crucible runs the fault-plan sweep.
 func Crucible(opts ...Option) (CrucibleResult, error) {
@@ -369,6 +386,11 @@ func runCrucible(pl cruciblePlan, trial int, opt Options) cruciblePoint {
 	if !cfg.Watchdog.Enabled() {
 		cfg.Watchdog = glaze.WatchdogConfig{Interval: 100_000, Grace: 10}
 	}
+	// The timeline oracles need the flight recorder even outside -timeline
+	// runs; a harness-provided recorder (Options.Telemetry) wins.
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRecorder(telemetry.Config{Every: crucibleSampleEvery})
+	}
 	rec := cfg.Spans
 
 	m := glaze.NewMachine(cfg)
@@ -428,6 +450,7 @@ func runCrucible(pl cruciblePlan, trial int, opt Options) cruciblePoint {
 		m.Eng.RunUntil(m.Eng.Now() + 30_000)
 	}
 
+	tl := m.FinishTelemetry()
 	snap := m.MetricsSnapshot()
 	row := CrucibleRow{
 		Plan:      pl.name,
@@ -440,6 +463,7 @@ func runCrucible(pl cruciblePlan, trial int, opt Options) cruciblePoint {
 		Injected:  m.Faults.Counts(),
 	}
 	row.Problems = crucibleOracles(m, job, rec, ownRec, snap, seen, sends)
+	row.Problems = append(row.Problems, crucibleTimelineOracles(tl)...)
 	return cruciblePoint{
 		row: row,
 		counters: crucibleCounters{
@@ -447,7 +471,8 @@ func runCrucible(pl cruciblePlan, trial int, opt Options) cruciblePoint {
 			faultsInHandler: snap.Counters["glaze.faults_in_handler"],
 			overflowTrips:   snap.Counters["glaze.overflow.trips"],
 		},
-		snap: snap,
+		snap:     snap,
+		timeline: tl,
 	}
 }
 
@@ -528,6 +553,47 @@ func crucibleOracles(m *glaze.Machine, job *glaze.Job, rec *spans.Recorder, ownR
 		}
 		if stray > 0 {
 			problems = append(problems, fmt.Sprintf("node %d dropped %d stray message(s)", node.Index, stray))
+		}
+	}
+	return problems
+}
+
+// crucibleTimelineOracles checks the time-resolved invariants the
+// end-of-run oracles cannot see:
+//
+//  6. overflow quiesces: once the fault window has lifted and the drain
+//     margin passed, no interval may record an overflow-control trip —
+//     overflow here is purely fault-driven, so a late trip means the
+//     machinery did not recover;
+//  7. bounded buffered residency: past the same horizon, at most
+//     crucibleMaxResidency of the intervals may show any node in buffered
+//     mode. Gang skew legitimately buffers a message at a quantum edge now
+//     and then (which the mode glyphs surface), but sustained residency
+//     after the faults are gone means the drain back to the fast case is
+//     broken even when the final state looks clean.
+func crucibleTimelineOracles(tl telemetry.Timeline) []string {
+	var problems []string
+	horizon := uint64(crucibleFaultsLift + crucibleDrainMargin)
+	post, buffered := 0, 0
+	for _, iv := range tl.Intervals {
+		if iv.Cycle <= horizon {
+			continue
+		}
+		post++
+		if d := iv.Counters["glaze.overflow.trips"]; d != 0 {
+			problems = append(problems, fmt.Sprintf(
+				"overflow tripped %d time(s) in the interval ending t=%d, %d cycles after faults lifted",
+				d, iv.Cycle, iv.Cycle-crucibleFaultsLift))
+		}
+		if strings.ContainsAny(iv.Modes, "bB") {
+			buffered++
+		}
+	}
+	if post > 0 {
+		if frac := float64(buffered) / float64(post); frac > crucibleMaxResidency {
+			problems = append(problems, fmt.Sprintf(
+				"buffered-mode residency %.0f%% of %d post-drain intervals exceeds the %.0f%% bound",
+				frac*100, post, crucibleMaxResidency*100))
 		}
 	}
 	return problems

@@ -20,6 +20,7 @@ import (
 	"fugu/internal/apps"
 	"fugu/internal/glaze"
 	"fugu/internal/metrics"
+	"fugu/internal/telemetry"
 )
 
 // machineConfig builds the standard 8-node experiment machine.
@@ -70,12 +71,21 @@ type RunStats struct {
 	// (per-node registries merged). Trials merge rather than average — see
 	// averageStats.
 	Metrics metrics.Snapshot
+	// Timeline is the run's flight-recorder timeline, empty unless
+	// telemetry sampling was enabled on the machine. Trials concatenate as
+	// distinct epochs — see averageStats.
+	Timeline telemetry.Timeline
 }
 
 // MetricsSnapshot exposes the run's merged registry snapshot; RunStats
 // satisfies the Runner's MetricsCarrier, so sweeps built from application
 // runs feed the per-point metrics hook with no extra plumbing.
 func (r RunStats) MetricsSnapshot() metrics.Snapshot { return r.Metrics }
+
+// TimelineData exposes the run's timeline; RunStats satisfies the Runner's
+// TimelineCarrier, so sweeps built from application runs feed the
+// per-point timeline hook with no extra plumbing.
+func (r RunStats) TimelineData() telemetry.Timeline { return r.Timeline }
 
 // RunStandalone executes an instance alone on eight nodes (Table 6 rows).
 func RunStandalone(make func() apps.Instance, seed uint64) RunStats {
@@ -130,8 +140,11 @@ func instrument(m *glaze.Machine, job *glaze.Job, inst apps.Instance) *glaze.Job
 	return job
 }
 
-// collect assembles RunStats after completion.
+// collect assembles RunStats after completion. FinishTelemetry runs first
+// so the timeline's closing interval and Totals agree exactly with the
+// Metrics snapshot (the engine is stopped; both read the same state).
 func collect(inst apps.Instance, job *glaze.Job, m *glaze.Machine, skew float64, runtime uint64) RunStats {
+	tl := m.FinishTelemetry()
 	d := job.Delivery()
 	rs := RunStats{
 		App:            inst.Name(),
@@ -144,6 +157,7 @@ func collect(inst apps.Instance, job *glaze.Job, m *glaze.Machine, skew float64,
 		MaxBufferPages: job.MaxBufferPages(),
 		Err:            inst.Check(),
 		Metrics:        m.MetricsSnapshot(),
+		Timeline:       tl,
 	}
 	rs.Msgs = d.Total()
 	if rs.Msgs > 0 {
@@ -181,10 +195,16 @@ func averageStats(runs []RunStats) RunStats {
 	}
 	avg := runs[0]
 	snaps := make([]metrics.Snapshot, len(runs))
+	tls := make([]telemetry.Timeline, len(runs))
 	for i, r := range runs {
 		snaps[i] = r.Metrics
+		tls[i] = r.Timeline
 	}
 	avg.Metrics = metrics.Merge(snaps...)
+	// Timelines concatenate (trials become distinct epochs) rather than
+	// average: per-interval deltas from different trials are incomparable,
+	// and concatenation preserves the deltas-sum-to-totals invariant.
+	avg.Timeline = telemetry.Concat(tls...)
 	var rt, msgs, fast, buf float64
 	var pages int
 	var pct, tb, th float64

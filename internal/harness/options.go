@@ -7,6 +7,7 @@ import (
 	"fugu/internal/faultinject"
 	"fugu/internal/glaze"
 	"fugu/internal/spans"
+	"fugu/internal/telemetry"
 	"fugu/internal/trace"
 )
 
@@ -43,6 +44,12 @@ type Options struct {
 	// machine. Nil leaves the machine default (delivery.TwoCase), keeping
 	// default runs bit-identical.
 	Policy delivery.Policy
+	// Telemetry, when enabled (Every > 0), attaches a fresh flight
+	// recorder to every point machine — each machine gets its own, so
+	// parallel sweeps stay deterministic and race-free, and the per-point
+	// timelines come back on the point results (Runner.OnTimeline).
+	// Disabled (the zero value) adds no machine state and no events.
+	Telemetry telemetry.Config
 }
 
 // Option configures an experiment run.
@@ -97,6 +104,12 @@ func WithDeliveryPolicy(p delivery.Policy) Option {
 	return optionFunc(func(o *Options) { o.Policy = p })
 }
 
+// WithTelemetry enables the flight recorder on every point machine (see
+// Options.Telemetry).
+func WithTelemetry(cfg telemetry.Config) Option {
+	return optionFunc(func(o *Options) { o.Telemetry = cfg })
+}
+
 // NewOptions resolves a full option set: the paper's defaults (full sizes,
 // 3 trials, seed 1) overlaid with the given options.
 func NewOptions(opts ...Option) Options {
@@ -134,7 +147,7 @@ func (o Options) trials() int { return max(1, o.Trials) }
 // accepted, so options reach every machine without widening run signatures.
 func (o Options) machineMut(extra func(*glaze.Config)) func(*glaze.Config) {
 	if o.Trace == nil && o.Spans == nil && !o.Watchdog.Enabled() && o.Faults == nil &&
-		o.Policy == nil && extra == nil {
+		o.Policy == nil && !o.Telemetry.Enabled() && extra == nil {
 		return nil
 	}
 	return func(cfg *glaze.Config) {
@@ -152,6 +165,12 @@ func (o Options) machineMut(extra func(*glaze.Config)) func(*glaze.Config) {
 		}
 		if o.Policy != nil {
 			cfg.Delivery = o.Policy
+		}
+		if o.Telemetry.Enabled() {
+			// A fresh recorder per machine: recorders are unsynchronized
+			// and epoch-scoped, so sharing one across parallel points
+			// would race and interleave.
+			cfg.Telemetry = telemetry.NewRecorder(o.Telemetry)
 		}
 		if extra != nil {
 			extra(cfg)

@@ -8,12 +8,20 @@ import (
 	"sync"
 
 	"fugu/internal/metrics"
+	"fugu/internal/telemetry"
 )
 
 // MetricsCarrier is implemented by point results that carry a registry
 // snapshot (RunStats does); the Runner merges these for its OnMetrics hook.
 type MetricsCarrier interface {
 	MetricsSnapshot() metrics.Snapshot
+}
+
+// TimelineCarrier is implemented by point results that carry a flight-
+// recorder timeline (RunStats does when sampling is enabled); the Runner
+// feeds these to its OnTimeline hook.
+type TimelineCarrier interface {
+	TimelineData() telemetry.Timeline
 }
 
 // Progress reports one completed point to the Runner's callback.
@@ -41,6 +49,11 @@ type Runner struct {
 	// Merging is commutative (sums and maxima), so the aggregate is
 	// bit-identical whatever the worker count.
 	OnMetrics func(metrics.Snapshot)
+	// OnTimeline, if non-nil, is called after a fully successful sweep for
+	// every point whose result carries a non-empty telemetry timeline, in
+	// point-index order — so exported timelines are byte-identical
+	// whatever the worker count.
+	OnTimeline func(point int, label string, tl telemetry.Timeline)
 }
 
 // Run enumerates, executes and assembles one experiment.
@@ -113,6 +126,15 @@ func (r *Runner) Run(ctx context.Context, exp *Experiment, opts ...Option) (Resu
 			}
 		}
 		r.OnMetrics(metrics.Merge(parts...))
+	}
+	if r.OnTimeline != nil {
+		for i, res := range results {
+			if c, ok := res.(TimelineCarrier); ok {
+				if tl := c.TimelineData(); !tl.Empty() {
+					r.OnTimeline(i, points[i].Label, tl)
+				}
+			}
+		}
 	}
 	return exp.Assemble(opt, results)
 }

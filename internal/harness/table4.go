@@ -9,6 +9,7 @@ import (
 	"fugu/internal/glaze"
 	"fugu/internal/metrics"
 	"fugu/internal/plot"
+	"fugu/internal/telemetry"
 	"fugu/internal/udm"
 )
 
@@ -38,10 +39,15 @@ var table4Impls = []glaze.AtomicityImpl{glaze.KernelMode, glaze.HardAtomicity, g
 type table4Point struct {
 	intr, poll uint64
 	metrics    metrics.Snapshot
+	timeline   telemetry.Timeline
 }
 
 // MetricsSnapshot implements MetricsCarrier for the Runner's metrics hook.
 func (p table4Point) MetricsSnapshot() metrics.Snapshot { return p.metrics }
+
+// TimelineData implements TimelineCarrier: the point's machines splice into
+// one timeline, each as its own epoch.
+func (p table4Point) TimelineData() telemetry.Timeline { return p.timeline }
 
 // Table4 reproduces the cycle counts to send and receive a null message.
 func Table4(opts ...Option) (Table4Result, error) {
@@ -114,6 +120,7 @@ func table4Rows() Table4Result {
 // the receive overhead the table reports.
 func measureNullMessage(impl glaze.AtomicityImpl, opt Options) table4Point {
 	var snaps []metrics.Snapshot
+	var tls []telemetry.Timeline
 	run := func(polling bool) uint64 {
 		cfg := glaze.DefaultConfig()
 		cfg.W, cfg.H = 2, 1
@@ -150,6 +157,7 @@ func measureNullMessage(impl glaze.AtomicityImpl, opt Options) table4Point {
 		})
 		m.NewGang(1<<40, 0, job).Start()
 		m.RunUntilDone(0, job)
+		tls = append(tls, m.FinishTelemetry())
 		snaps = append(snaps, m.MetricsSnapshot())
 		wire := cfg.Latency.Delay(1, 2) // one hop, two words
 		total := handlerDone - sentAt
@@ -158,14 +166,19 @@ func measureNullMessage(impl glaze.AtomicityImpl, opt Options) table4Point {
 	}
 	// Interrupt path: the receiver main simply finishes after the upcall
 	// runs; measure via a handler-completion timestamp instead.
-	intr, intrSnap := measureInterrupt(impl, opt)
+	intr, intrSnap, intrTL := measureInterrupt(impl, opt)
 	poll := run(true)
 	snaps = append(snaps, intrSnap)
-	return table4Point{intr: intr, poll: poll, metrics: metrics.Merge(snaps...)}
+	tls = append(tls, intrTL)
+	return table4Point{
+		intr: intr, poll: poll,
+		metrics:  metrics.Merge(snaps...),
+		timeline: telemetry.Concat(tls...),
+	}
 }
 
 // measureInterrupt times interrupt delivery: handler-entry minus arrival.
-func measureInterrupt(impl glaze.AtomicityImpl, opt Options) (uint64, metrics.Snapshot) {
+func measureInterrupt(impl glaze.AtomicityImpl, opt Options) (uint64, metrics.Snapshot, telemetry.Timeline) {
 	cfg := glaze.DefaultConfig()
 	cfg.W, cfg.H = 2, 1
 	cfg.Cost = glaze.Costs(impl)
@@ -196,7 +209,7 @@ func measureInterrupt(impl glaze.AtomicityImpl, opt Options) (uint64, metrics.Sn
 	// handlerEnd includes the counter wake racing the upcall cleanup; the
 	// cleanup (post) cycles complete before the main thread resumes, so the
 	// residual is the full interrupt receive total.
-	return handlerEnd - sentAt - wire - cfg.Cost.SendCost(0), m.MetricsSnapshot()
+	return handlerEnd - sentAt - wire - cfg.Cost.SendCost(0), m.MetricsSnapshot(), m.FinishTelemetry()
 }
 
 // Print renders the table with the paper's reference values.

@@ -9,6 +9,7 @@ import (
 	"fugu/internal/glaze"
 	"fugu/internal/metrics"
 	"fugu/internal/plot"
+	"fugu/internal/telemetry"
 	"fugu/internal/udm"
 )
 
@@ -27,10 +28,16 @@ type Table5Result struct {
 
 	// Metrics is the microbenchmark machine's registry snapshot.
 	Metrics metrics.Snapshot
+	// Timeline is the machine's flight-recorder timeline (empty unless
+	// telemetry sampling is enabled).
+	Timeline telemetry.Timeline
 }
 
 // MetricsSnapshot implements MetricsCarrier for the Runner's metrics hook.
 func (r Table5Result) MetricsSnapshot() metrics.Snapshot { return r.Metrics }
+
+// TimelineData implements TimelineCarrier for the Runner's timeline hook.
+func (r Table5Result) TimelineData() telemetry.Timeline { return r.Timeline }
 
 // Table5 runs the microbenchmark: a sender floods a receiver whose process
 // is not yet scheduled, so every message is inserted into the virtual
@@ -93,6 +100,7 @@ func table5Measure(mut func(*glaze.Config)) Table5Result {
 	m.RunUntilDone(0, job)
 
 	cm := m.Cost()
+	tl := m.FinishTelemetry()
 	res := Table5Result{
 		InsertMin:     cm.BufferInsertMin,
 		InsertVMAlloc: cm.BufferInsertVMAlloc,
@@ -100,6 +108,7 @@ func table5Measure(mut func(*glaze.Config)) Table5Result {
 		Inserts:       m.Nodes[1].Kernel.Inserts,
 		VMAllocs:      job.Process(1).BufferVMAllocs(),
 		Metrics:       m.MetricsSnapshot(),
+		Timeline:      tl,
 	}
 	if res.Inserts > 0 {
 		res.MeasuredInsertMean = float64(m.Nodes[1].Kernel.MismatchConsumed()) / float64(res.Inserts)

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"math"
 	"reflect"
@@ -171,5 +172,54 @@ func TestRegistryNamesSorted(t *testing.T) {
 	r.Gauge("m")
 	if got := r.Names(); !reflect.DeepEqual(got, []string{"a", "m", "z"}) {
 		t.Errorf("Names = %v", got)
+	}
+}
+
+// TestCSVFieldEscaping: clean names pass through byte-identically (so golden
+// CSVs are unchanged), metacharacter names get RFC 4180 quoting, and the
+// full snapshot CSV re-parses with a standard reader.
+func TestCSVFieldEscaping(t *testing.T) {
+	for in, want := range map[string]string{
+		"glaze.deliver.fast": "glaze.deliver.fast",
+		"":                   "",
+		"a,b":                `"a,b"`,
+		`say "hi"`:           `"say ""hi"""`,
+		"line\nbreak":        "\"line\nbreak\"",
+	} {
+		if got := CSVField(in); got != want {
+			t.Errorf("CSVField(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSnapshotCSVRoundTrip: a snapshot whose instrument names contain commas
+// and quotes survives encoding/csv parsing with names and values intact.
+func TestSnapshotCSVRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`evil,counter`).Add(3)
+	r.Gauge(`quo"gauge`).Set(9)
+	r.Histogram(`h,ist`).Observe(5)
+	out := r.Snapshot().CSV()
+
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("snapshot CSV does not re-parse: %v", err)
+	}
+	got := map[string]string{}
+	for _, rec := range recs[1:] {
+		if len(rec) != 4 {
+			t.Fatalf("row has %d fields, want 4: %v", len(rec), rec)
+		}
+		got[rec[0]+"|"+rec[1]+"|"+rec[2]] = rec[3]
+	}
+	for key, want := range map[string]string{
+		`evil,counter|counter|count`: "3",
+		`quo"gauge|gauge|cur`:        "9",
+		`h,ist|histogram|count`:      "1",
+		`h,ist|histogram|sum`:        "5",
+	} {
+		if got[key] != want {
+			t.Errorf("row %q = %q, want %q (rows: %v)", key, got[key], want, got)
+		}
 	}
 }

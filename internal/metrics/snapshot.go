@@ -169,9 +169,21 @@ func (s Snapshot) JSON() []byte {
 	return append(b, '\n')
 }
 
+// CSVField escapes one CSV field per RFC 4180: fields containing a comma,
+// quote or line break are quoted with embedded quotes doubled; everything
+// else passes through unchanged (so well-behaved instrument names render
+// byte-identically to the unescaped writer). The snapshot CSV and the
+// telemetry timeline CSV share it.
+func CSVField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
 // CSV renders the snapshot as "metric,kind,field,value" rows sorted by
 // metric name, one row per exported scalar and one per occupied histogram
-// bucket (field "le_<bound>").
+// bucket (field "le_<bound>"). Metric names are escaped with CSVField.
 func (s Snapshot) CSV() string {
 	var b strings.Builder
 	b.WriteString("metric,kind,field,value\n")
@@ -181,7 +193,7 @@ func (s Snapshot) CSV() string {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		fmt.Fprintf(&b, "%s,counter,count,%d\n", n, s.Counters[n])
+		fmt.Fprintf(&b, "%s,counter,count,%d\n", CSVField(n), s.Counters[n])
 	}
 	names = names[:0]
 	for n := range s.Gauges {
@@ -190,8 +202,8 @@ func (s Snapshot) CSV() string {
 	sort.Strings(names)
 	for _, n := range names {
 		g := s.Gauges[n]
-		fmt.Fprintf(&b, "%s,gauge,cur,%d\n", n, g.Cur)
-		fmt.Fprintf(&b, "%s,gauge,max,%d\n", n, g.Max)
+		fmt.Fprintf(&b, "%s,gauge,cur,%d\n", CSVField(n), g.Cur)
+		fmt.Fprintf(&b, "%s,gauge,max,%d\n", CSVField(n), g.Max)
 	}
 	names = names[:0]
 	for n := range s.Histograms {
@@ -200,12 +212,13 @@ func (s Snapshot) CSV() string {
 	sort.Strings(names)
 	for _, n := range names {
 		h := s.Histograms[n]
-		fmt.Fprintf(&b, "%s,histogram,count,%d\n", n, h.Count)
-		fmt.Fprintf(&b, "%s,histogram,sum,%d\n", n, h.Sum)
-		fmt.Fprintf(&b, "%s,histogram,min,%d\n", n, h.Min)
-		fmt.Fprintf(&b, "%s,histogram,max,%d\n", n, h.Max)
+		e := CSVField(n)
+		fmt.Fprintf(&b, "%s,histogram,count,%d\n", e, h.Count)
+		fmt.Fprintf(&b, "%s,histogram,sum,%d\n", e, h.Sum)
+		fmt.Fprintf(&b, "%s,histogram,min,%d\n", e, h.Min)
+		fmt.Fprintf(&b, "%s,histogram,max,%d\n", e, h.Max)
 		for _, bk := range h.Buckets {
-			fmt.Fprintf(&b, "%s,histogram,le_%d,%d\n", n, bk.Le, bk.Count)
+			fmt.Fprintf(&b, "%s,histogram,le_%d,%d\n", e, bk.Le, bk.Count)
 		}
 	}
 	return b.String()

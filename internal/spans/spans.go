@@ -324,6 +324,15 @@ func (r *Recorder) Counts() Counts {
 	return r.counts
 }
 
+// InFlightCount reports how many spans are unterminated, without the
+// allocation and sort of InFlight — cheap enough for periodic sampling.
+func (r *Recorder) InFlightCount() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.inflight)
+}
+
 // InFlight returns the unterminated spans, sorted by (epoch, id).
 func (r *Recorder) InFlight() []Span {
 	if r == nil {

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"fugu/internal/metrics"
+)
+
+// LabeledTimeline pairs one sweep point's timeline with its identity for
+// multi-point export.
+type LabeledTimeline struct {
+	Point    int
+	Label    string
+	Timeline Timeline
+}
+
+// jsonlRecord flattens one interval with its point identity for streaming
+// export; embedding promotes the Interval fields.
+type jsonlRecord struct {
+	Point int    `json:"point"`
+	Label string `json:"label"`
+	Interval
+}
+
+// WriteJSONL streams every interval of every timeline as one JSON object
+// per line, in point order. Map keys marshal sorted, so the bytes are
+// deterministic.
+func WriteJSONL(w io.Writer, tls []LabeledTimeline) error {
+	enc := json.NewEncoder(w)
+	for _, lt := range tls {
+		for _, iv := range lt.Timeline.Intervals {
+			if err := enc.Encode(jsonlRecord{Point: lt.Point, Label: lt.Label, Interval: iv}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the timelines as one wide CSV: fixed identity columns
+// followed by the sorted union of instrument columns across every point —
+// "c:<name>" counter deltas, "g:<name>.cur"/".max" gauge levels and
+// "h:<name>.count"/".sum"/".p50"/".p90"/".p99"/".max" histogram activity.
+// Cells for instruments silent in an interval are empty (read them as 0).
+// Field escaping is metrics.CSVField, the same writer the snapshot CSV
+// uses, so instrument names with commas or quotes survive a round trip.
+func WriteCSV(w io.Writer, tls []LabeledTimeline) error {
+	cols := instrumentColumns(tls)
+	header := []string{"point", "label", "epoch", "cycle", "spans_inflight", "queue_sum", "queue_max", "modes"}
+	header = append(header, cols...)
+	if err := writeRow(w, header); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(header))
+	for _, lt := range tls {
+		for _, iv := range lt.Timeline.Intervals {
+			row = row[:0]
+			row = append(row,
+				fmt.Sprint(lt.Point), lt.Label, fmt.Sprint(iv.Epoch), fmt.Sprint(iv.Cycle),
+				fmt.Sprint(iv.SpansInFlight), fmt.Sprint(iv.QueueSum), fmt.Sprint(iv.QueueMax), iv.Modes)
+			for _, col := range cols {
+				row = append(row, cellValue(iv, col))
+			}
+			if err := writeRow(w, row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// instrumentColumns returns the sorted union of instrument column keys
+// across all intervals of all timelines.
+func instrumentColumns(tls []LabeledTimeline) []string {
+	set := map[string]struct{}{}
+	for _, lt := range tls {
+		for _, iv := range lt.Timeline.Intervals {
+			for name := range iv.Counters {
+				set["c:"+name] = struct{}{}
+			}
+			for name := range iv.Gauges {
+				set["g:"+name+".cur"] = struct{}{}
+				set["g:"+name+".max"] = struct{}{}
+			}
+			for name := range iv.Hists {
+				for _, f := range histFields {
+					set["h:"+name+f] = struct{}{}
+				}
+			}
+		}
+	}
+	cols := make([]string, 0, len(set))
+	for c := range set {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+var histFields = []string{".count", ".sum", ".p50", ".p90", ".p99", ".max"}
+
+// cellValue renders one interval's value for an instrument column, empty
+// when the instrument was silent.
+func cellValue(iv Interval, col string) string {
+	kind, rest := col[:2], col[2:]
+	switch kind {
+	case "c:":
+		if d, ok := iv.Counters[rest]; ok {
+			return fmt.Sprint(d)
+		}
+	case "g:":
+		// Instrument names contain dots; our field suffix is always the
+		// last dot-separated component.
+		i := strings.LastIndex(rest, ".")
+		name, field := rest[:i], rest[i+1:]
+		if g, ok := iv.Gauges[name]; ok {
+			if field == "cur" {
+				return fmt.Sprint(g.Cur)
+			}
+			return fmt.Sprint(g.Max)
+		}
+	case "h:":
+		i := strings.LastIndex(rest, ".")
+		name, field := rest[:i], rest[i:]
+		if h, ok := iv.Hists[name]; ok {
+			switch field {
+			case ".count":
+				return fmt.Sprint(h.Count)
+			case ".sum":
+				return fmt.Sprint(h.Sum)
+			case ".p50":
+				return fmt.Sprint(h.P50)
+			case ".p90":
+				return fmt.Sprint(h.P90)
+			case ".p99":
+				return fmt.Sprint(h.P99)
+			case ".max":
+				return fmt.Sprint(h.Max)
+			}
+		}
+	}
+	return ""
+}
+
+// writeRow writes one escaped CSV record.
+func writeRow(w io.Writer, fields []string) error {
+	var b strings.Builder
+	for i, f := range fields {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(metrics.CSVField(f))
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
