@@ -29,6 +29,7 @@ func crucibleCmd(args []string) {
 	csvDir := fs.String("csv", "", "also write the sweep as crucible.csv into this directory")
 	listPts := fs.Bool("list", false, "list the sweep points and exit")
 	progress := fs.Bool("progress", false, "report each completed sweep point on stderr")
+	force := fs.Bool("force", false, "overwrite existing -metrics/-timeline artifact files")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fugusim crucible [flags]\n")
 		fs.PrintDefaults()
@@ -49,6 +50,11 @@ func crucibleCmd(args []string) {
 		}
 		listPoints(os.Stdout, pts)
 		return
+	}
+
+	if err := common.vetArtifacts(*force, "crucible"); err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
+		os.Exit(2)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -1,0 +1,236 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+
+	"fugu/internal/harness"
+	"fugu/internal/sim"
+	"fugu/internal/spans"
+)
+
+// explainCmd implements `fugusim explain`: replay one sweep point serially
+// with the message-lifecycle span recorder and the engine cost profiler
+// installed, then render the latency anatomy — where a message's cycles go
+// (the per-stage dwell waterfall with percentiles), which (policy, stage,
+// cause) buckets dominate, which destination nodes and source→destination
+// links run hot, the slowest messages with their full stage timelines, and
+// which schedule sites the engine itself spends its time on. The dwell
+// conservation invariant (per-stage dwells sum exactly to end-to-end
+// latency) is checked along with the delivery invariants; a violation exits
+// with status 1, so CI can replay a point and assert the anatomy holds.
+func explainCmd(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	common := registerCommon(fs)
+	point := fs.Int("point", 0, "sweep point index to replay (see -list)")
+	listPts := fs.Bool("list", false, "list the experiment's sweep points and exit")
+	topK := fs.Int("topk", 8, fmt.Sprintf("slowest messages to list with timelines (max %d)", spans.TopK))
+	links := fs.Int("links", 8, "hottest src->dst links to list")
+	out := fs.String("o", "-", "also write the report to this path (- means stdout only)")
+	folded := fs.String("folded", "", "write the engine cost profile as folded stacks (flamegraph input) to this path")
+	force := fs.Bool("force", false, "overwrite existing -o/-folded output files")
+	allocs := fs.Bool("allocs", false, "also attribute heap allocations per schedule site (slower)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fugusim explain [flags] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", harness.Names())
+		fs.PrintDefaults()
+	}
+	names := parseInterleaved(fs, args)
+	if len(names) != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	common.resolve()
+
+	rec := spans.NewRecorder(nil)
+	prof := sim.NewProfiler(sim.ProfilerConfig{Wall: true, Allocs: *allocs})
+	opts := append(common.harnessOptions(),
+		harness.WithTrials(1), harness.WithParallelism(1),
+		harness.WithSpans(rec), harness.WithProfiler(prof))
+	opt := harness.NewOptions(opts...)
+	exp, pts, sel, err := resolvePoint(names[0], pointIndex(*point, *listPts), opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
+		os.Exit(2)
+	}
+	if *listPts {
+		listPoints(os.Stdout, pts)
+		return
+	}
+
+	// Refuse clobbering outputs before the replay, not after (see doctor).
+	for _, path := range []string{*out, *folded} {
+		if err := prepareOutputPath(path, *force); err != nil {
+			fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	pt := *sel
+	fmt.Fprintf(os.Stderr, "explain: replaying %s point %d (%s) seed=%#x\n",
+		exp.Name, *point, pt.Label, opt.Seed)
+	res, err := pt.Run(ctx, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: %s (%s): %v\n", exp.Name, pt.Label, err)
+		os.Exit(1)
+	}
+
+	var problems []string
+	if mc, ok := res.(harness.MetricsCarrier); ok {
+		snap := mc.MetricsSnapshot()
+		if *common.metricsDir != "" {
+			writeMetrics(*common.metricsDir, exp.Name)(snap)
+		}
+		problems = rec.Check(snap.Counters["glaze.deliver.fast"], snap.Counters["glaze.deliver.buffered"])
+	} else {
+		problems = rec.Check(rec.Counts().Fast, rec.Counts().Inserts)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "explain: %s point %d (%s) seed=%#x\n", exp.Name, *point, pt.Label, opt.Seed)
+	fmt.Fprintf(&b, "%s\n\n", rec.Summary())
+	writeWaterfall(&b, rec)
+	writeAnatomy(&b, rec)
+	writeHeat(&b, rec, *links)
+	writeSlowest(&b, rec, *topK)
+	fmt.Fprintf(&b, "engine cost profile (by schedule site)\n")
+	prof.Snapshot().WriteTable(&b)
+	for _, p := range problems {
+		fmt.Fprintf(&b, "\nPROBLEM: %s\n", p)
+	}
+
+	emit := func(path, text string) {
+		if werr := os.WriteFile(path, []byte(text), 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "fugusim: %v\n", werr)
+			os.Exit(1)
+		}
+	}
+	fmt.Print(b.String())
+	if *out != "-" && *out != "" {
+		emit(*out, b.String())
+	}
+	if *folded != "" {
+		var fb strings.Builder
+		prof.Snapshot().WriteFolded(&fb)
+		emit(*folded, fb.String())
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "explain: %d invariant violation(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// writeWaterfall renders the per-stage dwell waterfall: for each pipeline
+// stage, the share of all terminal-span cycles dwelt there plus dwell
+// percentiles over the spans that visited it.
+func writeWaterfall(w io.Writer, rec *spans.Recorder) {
+	totals := rec.StageDwellTotals()
+	latency := rec.LatencyTotal()
+	fmt.Fprintf(w, "stage-dwell waterfall (%d terminal spans, %d total latency cycles)\n",
+		rec.Terminated(), latency)
+	fmt.Fprintf(w, "  %-12s %14s %7s %10s %10s %10s %10s %10s\n",
+		"stage", "cycles", "share", "visits", "p50", "p90", "p99", "max")
+	for st := spans.Stage(0); st < spans.NumStages; st++ {
+		h := rec.StageHist(st)
+		share := 0.0
+		if latency > 0 {
+			share = 100 * float64(totals[st]) / float64(latency)
+		}
+		bar := strings.Repeat("#", int(share/5))
+		fmt.Fprintf(w, "  %-12s %14d %6.1f%% %10d %10d %10d %10d %10d  %s\n",
+			st, totals[st], share, h.Count,
+			h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max, bar)
+	}
+	fmt.Fprintln(w)
+}
+
+// writeAnatomy renders the per-(policy, stage, cause) dwell breakdown.
+func writeAnatomy(w io.Writer, rec *spans.Recorder) {
+	rows := rec.Anatomy()
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "dwell by (policy, stage, cause)\n")
+	fmt.Fprintf(w, "  %-10s %-12s %-14s %10s %14s %10s %10s %10s %10s\n",
+		"policy", "stage", "cause", "count", "cycles", "p50", "p90", "p99", "max")
+	for _, r := range rows {
+		cause := r.Cause
+		if cause == "" {
+			cause = "-"
+		}
+		fmt.Fprintf(w, "  %-10s %-12s %-14s %10d %14d %10d %10d %10d %10d\n",
+			r.Policy, r.Stage, cause, r.Count, r.Sum, r.P50, r.P90, r.P99, r.Max)
+	}
+	fmt.Fprintln(w)
+}
+
+// writeHeat renders the per-destination-node dwell table and the hottest
+// src->dst links by summed end-to-end latency.
+func writeHeat(w io.Writer, rec *spans.Recorder, nLinks int) {
+	nodes := rec.NodeHeats()
+	if len(nodes) > 0 {
+		fmt.Fprintf(w, "destination-node heat (dwell cycles by stage)\n")
+		fmt.Fprintf(w, "  %-6s %8s", "node", "msgs")
+		for st := spans.Stage(0); st < spans.NumStages; st++ {
+			fmt.Fprintf(w, " %12s", st)
+		}
+		fmt.Fprintln(w)
+		for _, nh := range nodes {
+			fmt.Fprintf(w, "  %-6d %8d", nh.Node, nh.Count)
+			for _, d := range nh.Dwell {
+				fmt.Fprintf(w, " %12d", d)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+	heats := rec.LinkHeats()
+	if len(heats) == 0 {
+		return
+	}
+	if nLinks > 0 && len(heats) > nLinks {
+		heats = heats[:nLinks]
+	}
+	fmt.Fprintf(w, "hottest links (by summed end-to-end latency)\n")
+	fmt.Fprintf(w, "  %-10s %8s %14s %12s\n", "link", "msgs", "cycles", "avg")
+	for _, lh := range heats {
+		avg := uint64(0)
+		if lh.Count > 0 {
+			avg = lh.Latency / lh.Count
+		}
+		fmt.Fprintf(w, "  %3d->%-5d %8d %14d %12d\n", lh.Src, lh.Dst, lh.Count, lh.Latency, avg)
+	}
+	fmt.Fprintln(w)
+}
+
+// writeSlowest renders the top-K slowest messages with their full stage
+// timelines: when each span entered each stage and why, plus the dwell the
+// span accumulated in it.
+func writeSlowest(w io.Writer, rec *spans.Recorder, k int) {
+	slow := rec.Slowest(k)
+	if len(slow) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "slowest %d message(s)\n", len(slow))
+	for i := range slow {
+		s := &slow[i]
+		fmt.Fprintf(w, "  #%-2d e%d#%d %s %d->%d %dw latency=%d (%s)\n",
+			i+1, s.Epoch, s.ID, s.Class, s.Src, s.Dst, s.Words, s.Latency(), s.Term)
+		for _, ev := range s.History() {
+			cause := ev.Cause
+			if cause == "" {
+				cause = "-"
+			}
+			fmt.Fprintf(w, "      @%-12d %-12s %-14s dwell=%d\n",
+				ev.At, ev.Stage, cause, s.Dwell[ev.Stage])
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"fugu/internal/delivery"
@@ -136,6 +137,30 @@ func (c *commonFlags) writeTimelines(name string, tls []telemetry.LabeledTimelin
 		fmt.Fprintf(os.Stderr, "fugusim: timeline: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// vetArtifacts refuses pre-existing -metrics/-timeline artifact files for
+// the named experiments before the run starts, unless force is set — the
+// same refuse-overwrite treatment trace and doctor give -o, so a long sweep
+// can never end by silently destroying the previous run's exports.
+func (c *commonFlags) vetArtifacts(force bool, names ...string) error {
+	for _, name := range names {
+		if *c.metricsDir != "" {
+			for _, suffix := range []string{".metrics.json", ".metrics.csv"} {
+				if err := prepareOutputPath(filepath.Join(*c.metricsDir, name+suffix), force); err != nil {
+					return err
+				}
+			}
+		}
+		if *c.timelineDir != "" {
+			for _, suffix := range []string{".timeline.csv", ".timeline.jsonl"} {
+				if err := prepareOutputPath(filepath.Join(*c.timelineDir, name+suffix), force); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // configMut returns a machine-config mutator applying the shared flags to

@@ -8,6 +8,7 @@
 //	fugusim run [flags] <experiment>... | all
 //	fugusim trace [flags] <experiment>
 //	fugusim doctor [flags] <experiment>
+//	fugusim explain [flags] <experiment>
 //	fugusim crucible [flags]
 //	fugusim watch [flags] <experiment>
 //
@@ -25,7 +26,12 @@
 // (chrome://tracing, Perfetto) or JSON Lines. `doctor` replays one sweep
 // point under the message-lifecycle span recorder and the liveness
 // watchdog, then checks delivery invariants; a wedged run terminates with
-// a diagnostic report (exit status 3) instead of hanging. `crucible` runs
+// a diagnostic report (exit status 3) instead of hanging. `explain` replays
+// one sweep point with the span recorder and the engine cost profiler and
+// renders the latency anatomy: the per-stage dwell waterfall, dwell broken
+// down by (policy, stage, cause), per-node and per-link heat, the slowest
+// messages with their stage timelines, and the engine's own cost by
+// schedule site (with `-folded` emitting flamegraph input). `crucible` runs
 // the deterministic fault-injection sweep — every named fault plan across
 // -trials seeds — and fails unless every delivery oracle passes and every
 // second-case cause was forced at least once. `watch` replays one sweep
@@ -70,6 +76,7 @@ func main() {
 	progress := flag.Bool("progress", false, "report each completed sweep point on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
+	force := flag.Bool("force", false, "overwrite existing -metrics/-timeline artifact files")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage:\n")
 		fmt.Fprintf(os.Stderr, "  fugusim list\n")
@@ -77,6 +84,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  fugusim bench [flags]\n")
 		fmt.Fprintf(os.Stderr, "  fugusim trace [flags] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "  fugusim doctor [flags] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "  fugusim explain [flags] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "  fugusim crucible [flags]\n")
 		fmt.Fprintf(os.Stderr, "  fugusim watch [flags] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", harness.Names())
@@ -102,6 +110,9 @@ func main() {
 	case "doctor":
 		doctorCmd(flag.Args()[1:])
 		return
+	case "explain":
+		explainCmd(flag.Args()[1:])
+		return
 	case "crucible":
 		crucibleCmd(flag.Args()[1:])
 		return
@@ -122,6 +133,14 @@ func main() {
 	}
 	common.resolve()
 	names = expandNames(names)
+
+	// Refuse clobbering -metrics/-timeline artifacts before the sweep, not
+	// after: destroying the previous exports as the final act of a long run
+	// is the worst order.
+	if err := common.vetArtifacts(*force, names...); err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
+		os.Exit(2)
+	}
 
 	opts := append(common.harnessOptions(), harness.WithParallelism(*jobs))
 	if *trials > 0 {

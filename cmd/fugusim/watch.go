@@ -8,6 +8,7 @@ import (
 	"os/signal"
 
 	"fugu/internal/harness"
+	"fugu/internal/spans"
 	"fugu/internal/telemetry"
 )
 
@@ -49,16 +50,20 @@ func watchCmd(args []string) {
 	rowN := 0
 	tc.OnSample = func(iv telemetry.Interval) {
 		if rowN%watchHeaderEvery == 0 {
-			fmt.Printf("%-3s %-12s %7s %7s %6s %7s %6s %6s %9s %7s %8s  %s\n",
+			fmt.Printf("%-3s %-12s %7s %7s %6s %7s %6s %6s %9s %7s %8s %13s  %s\n",
 				"ep", "cycle", "Δfast", "Δbuf", "fast%", "Δins", "Δovfl", "Δnack",
-				"pages", "queue", "inflight", "modes")
+				"pages", "queue", "inflight", "Δdwell q/b", "modes")
 		}
 		rowN++
 		fmt.Print(watchRow(iv))
 	}
 
+	// A span recorder feeds the sampler's per-stage dwell totals, so the
+	// dashboard (and any -timeline export) shows dwell drift per interval.
+	rec := spans.NewRecorder(nil)
 	opts := append(common.harnessOptions(),
-		harness.WithTrials(1), harness.WithParallelism(1), harness.WithTelemetry(tc))
+		harness.WithTrials(1), harness.WithParallelism(1),
+		harness.WithSpans(rec), harness.WithTelemetry(tc))
 	opt := harness.NewOptions(opts...)
 	exp, pts, sel, err := resolvePoint(names[0], pointIndex(*point, *listPts), opt)
 	if err != nil {
@@ -105,12 +110,15 @@ func watchRow(iv telemetry.Interval) string {
 		fastPct = fmt.Sprintf("%5.1f", float64(fast)/float64(fast+buf)*100)
 	}
 	pages := iv.Gauges["glaze.buffer.pages"]
-	return fmt.Sprintf("%-3d %-12d %7d %7d %6s %7d %6d %6d %4d/%-4d %3d/%-3d %8d  %s\n",
+	// Per-interval dwell-cycle deltas for the two stages worth watching live:
+	// queued (NI residency) and buffered (second-case store residency).
+	dwell := fmt.Sprintf("%d/%d", iv.Dwell["queued"], iv.Dwell["buffered"])
+	return fmt.Sprintf("%-3d %-12d %7d %7d %6s %7d %6d %6d %4d/%-4d %3d/%-3d %8d %13s  %s\n",
 		iv.Epoch, iv.Cycle, fast, buf, fastPct,
 		iv.Counters["glaze.buffer.inserts"],
 		iv.Counters["glaze.overflow.trips"],
 		iv.Counters["nic.nacked"],
 		pages.Cur, pages.Max,
 		iv.QueueSum, iv.QueueMax,
-		iv.SpansInFlight, iv.Modes)
+		iv.SpansInFlight, dwell, iv.Modes)
 }

@@ -78,10 +78,20 @@ func (c *CPU) NewTask(name string, prio Priority, domain Domain, fn func(*Task))
 		t.state = taskDone
 		c.release(t)
 	})
+	t.proc.SetSite(siteTaskWake)
 	c.enqueue(t, false)
 	c.kick()
 	return t
 }
+
+// siteTaskWake labels task wake/resume events for the engine cost
+// profiler; higher layers override per-domain via SetWakeSite.
+var siteTaskWake = sim.NewSite("cpu.task.wake")
+
+// SetWakeSite relabels this task's wake events for the cost profiler, so
+// a layer that knows what the task is for (a udm handler thread, a glaze
+// kernel daemon) can attribute its resumes to that domain.
+func (t *Task) SetWakeSite(s sim.Site) { t.proc.SetSite(s) }
 
 // waitGrant parks until the scheduler has made this task the running one,
 // absorbing stale wake-ups.
@@ -176,8 +186,11 @@ func (t *Task) Spend(n uint64) {
 // armSpend schedules the completion event for the current balance.
 func (t *Task) armSpend() {
 	t.spendStart = t.cpu.eng.Now()
-	t.spendEv = t.cpu.eng.Schedule(t.remaining, t.spendFn)
+	t.spendEv = t.cpu.eng.ScheduleSite(siteSpend, t.remaining, t.spendFn)
 }
+
+// siteSpend labels cycle-spend completions for the engine cost profiler.
+var siteSpend = sim.NewSite("cpu.spend")
 
 // suspendSpend cancels an in-flight spend completion, charging the elapsed
 // portion. Called (from event context) when t is preempted while parked.

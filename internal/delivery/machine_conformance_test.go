@@ -151,6 +151,25 @@ func TestMachineConformance(t *testing.T) {
 				t.Errorf("span reconciliation: %s", p)
 			}
 
+			// Latency anatomy: under every policy the per-stage dwells of
+			// terminal spans conserve end-to-end latency exactly, and the
+			// anatomy is keyed by this policy's name.
+			var dwellSum uint64
+			for _, d := range rec.StageDwellTotals() {
+				dwellSum += d
+			}
+			if dwellSum != rec.LatencyTotal() {
+				t.Errorf("%s: stage dwells sum to %d cycles, latencies to %d", name, dwellSum, rec.LatencyTotal())
+			}
+			if rec.Terminated() == 0 {
+				t.Errorf("%s: anatomy observed no terminal spans", name)
+			}
+			for _, row := range rec.Anatomy() {
+				if row.Policy != name {
+					t.Errorf("anatomy row keyed by policy %q, want %q", row.Policy, name)
+				}
+			}
+
 			// The skew must actually have engaged the second case somewhere,
 			// or this test proves nothing: kernel-buffered policies show
 			// buffered deliveries, the bypass ring shows hardware demuxes.

@@ -4,6 +4,7 @@ import (
 	"fugu/internal/delivery"
 	"fugu/internal/faultinject"
 	"fugu/internal/nic"
+	"fugu/internal/sim"
 	"fugu/internal/spans"
 	"fugu/internal/telemetry"
 	"fugu/internal/trace"
@@ -92,6 +93,14 @@ func WithTelemetry(rec *telemetry.Recorder) ConfigOption {
 // bit-identical to one with no plan at all.
 func WithFaults(plan *faultinject.Plan) ConfigOption {
 	return func(c *Config) { c.Faults = plan }
+}
+
+// WithProfiler attaches an engine cost profiler: every dispatched event is
+// attributed to its named schedule site (counts, simulated cycles and —
+// per the profiler's config — wall nanoseconds and allocations).
+// Observation only; simulation results are identical with or without it.
+func WithProfiler(p *sim.Profiler) ConfigOption {
+	return func(c *Config) { c.Profiler = p }
 }
 
 // NewConfig returns DefaultConfig with the given options applied.

@@ -1,6 +1,9 @@
 package glaze
 
-import "fugu/internal/metrics"
+import (
+	"fugu/internal/metrics"
+	"fugu/internal/sim"
+)
 
 // Gang is the system scheduler: loose gang scheduling driven by each node's
 // local cycle counter, as in the paper (a user-level server with
@@ -70,9 +73,12 @@ func (g *Gang) Start() {
 		node := node
 		g.idx[node] = -1
 		g.tickFns[node] = func() { g.tick(node) }
-		g.m.Eng.Schedule(g.offset(node), g.tickFns[node])
+		g.m.Eng.ScheduleSite(siteGang, g.offset(node), g.tickFns[node])
 	}
 }
+
+// siteGang labels gang-scheduler quantum ticks for the cost profiler.
+var siteGang = sim.NewSite("glaze.gang.tick")
 
 // tick advances node to its next slot and reschedules itself.
 func (g *Gang) tick(node int) {
@@ -104,7 +110,7 @@ func (g *Gang) tick(node int) {
 	}
 	// A gang-skew fault widens this node's mis-scheduling window by
 	// delaying its next tick.
-	g.m.Eng.Schedule(g.quantum+g.m.Faults.GangSkew(node), g.tickFns[node])
+	g.m.Eng.ScheduleSite(siteGang, g.quantum+g.m.Faults.GangSkew(node), g.tickFns[node])
 }
 
 // Prefer advises the scheduler to co-schedule job (overflow control).

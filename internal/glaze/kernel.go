@@ -7,6 +7,7 @@ import (
 	"fugu/internal/mesh"
 	"fugu/internal/metrics"
 	"fugu/internal/nic"
+	"fugu/internal/sim"
 	"fugu/internal/spans"
 	"fugu/internal/trace"
 	"fugu/internal/vm"
@@ -548,7 +549,7 @@ func (k *Kernel) ForceQuantumExpiry(p *Process, resumeAfter uint64) {
 	k.switchTarget = nil
 	k.switchValid = true
 	k.gangIRQ.Raise()
-	k.m.Eng.Schedule(resumeAfter, func() {
+	k.m.Eng.ScheduleSite(siteFaultExpiry, resumeAfter, func() {
 		if k.current != nil || k.m.Eng.Stopped() {
 			return // a real tick already scheduled someone
 		}
@@ -557,6 +558,9 @@ func (k *Kernel) ForceQuantumExpiry(p *Process, resumeAfter uint64) {
 		k.gangIRQ.Raise()
 	})
 }
+
+// siteFaultExpiry labels injected quantum-expiry resumes for the profiler.
+var siteFaultExpiry = sim.NewSite("glaze.fault.expiry")
 
 // starvationReserve is the free-frame floor applyFrameStarvation never takes
 // below: data-page faults must still find a frame, or the exhausted-pool

@@ -65,6 +65,13 @@ type Config struct {
 	// bit-identical with or without it. A recorder is unsynchronized —
 	// give each machine its own (the harness does).
 	Telemetry *telemetry.Recorder
+
+	// Profiler, when non-nil, attaches the engine cost profiler: every
+	// dispatched event is attributed to its schedule site (mesh hop, NI
+	// drain, gang tick, ...). Observation only — simulated results are
+	// identical with or without it. A profiler is unsynchronized; pair it
+	// with serial sweeps, like Trace and Spans.
+	Profiler *sim.Profiler
 }
 
 // DefaultConfig returns the configuration the experiments use: eight nodes
@@ -173,7 +180,11 @@ func NewMachine(cfg Config, opts ...ConfigOption) *Machine {
 	}
 	if m.Spans != nil {
 		m.Spans.AttachMachine()
+		m.Spans.SetPolicy(m.policy.Name())
 		m.Net.UseSpans(m.Spans)
+	}
+	if cfg.Profiler != nil {
+		eng.UseProfiler(cfg.Profiler)
 	}
 	n := cfg.W * cfg.H
 	m.Nodes = make([]*Node, n)

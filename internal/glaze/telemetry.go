@@ -2,8 +2,13 @@ package glaze
 
 import (
 	"fugu/internal/delivery"
+	"fugu/internal/sim"
+	"fugu/internal/spans"
 	"fugu/internal/telemetry"
 )
+
+// siteTelemetry labels flight-recorder sampling ticks for the cost profiler.
+var siteTelemetry = sim.NewSite("glaze.telemetry")
 
 // sampler drives the machine's telemetry flight recorder on simulated
 // time: a self-rescheduling engine event every recorder interval. Like the
@@ -21,7 +26,7 @@ type sampler struct {
 func newSampler(m *Machine, rec *telemetry.Recorder) *sampler {
 	s := &sampler{m: m, rec: rec, every: rec.Every()}
 	s.tickFn = s.tick
-	m.Eng.Schedule(s.every, s.tickFn)
+	m.Eng.ScheduleSite(siteTelemetry, s.every, s.tickFn)
 	return s
 }
 
@@ -31,7 +36,7 @@ func (s *sampler) tick() {
 	s.rec.Record(s.m.telemetrySample())
 	for _, j := range s.m.jobs {
 		if !j.Done() {
-			s.m.Eng.Schedule(s.every, s.tickFn)
+			s.m.Eng.ScheduleSite(siteTelemetry, s.every, s.tickFn)
 			return
 		}
 	}
@@ -60,7 +65,7 @@ func (m *Machine) telemetrySample() telemetry.Sample {
 			}
 		}
 	}
-	return telemetry.Sample{
+	s := telemetry.Sample{
 		At:            m.Eng.Now(),
 		Snap:          m.MetricsSnapshot(),
 		SpansInFlight: m.Spans.InFlightCount(),
@@ -68,6 +73,19 @@ func (m *Machine) telemetrySample() telemetry.Sample {
 		QueueMax:      qmax,
 		Modes:         string(modes),
 	}
+	if m.Spans != nil {
+		// Cumulative per-stage dwell totals over terminated spans: the
+		// recorder diffs consecutive samples into per-interval dwell
+		// columns ("d:<stage>"), so timelines show dwell drift. Only
+		// present with a spans recorder installed — without one the
+		// column set (and every existing CSV) is unchanged.
+		totals := m.Spans.StageDwellTotals()
+		s.Dwell = make(map[string]uint64, len(totals))
+		for st, d := range totals {
+			s.Dwell[spans.Stage(st).String()] = d
+		}
+	}
+	return s
 }
 
 // Telemetry returns the machine's flight recorder, nil when disabled.

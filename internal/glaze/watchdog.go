@@ -5,8 +5,12 @@ import (
 	"strings"
 
 	"fugu/internal/mesh"
+	"fugu/internal/sim"
 	"fugu/internal/spans"
 )
+
+// siteWatchdog labels liveness-watchdog checks for the cost profiler.
+var siteWatchdog = sim.NewSite("glaze.watchdog")
 
 // WatchdogConfig parameterizes the machine's liveness watchdog. The
 // watchdog samples a progress fingerprint — span begins/ends/inserts plus
@@ -54,7 +58,7 @@ func newWatchdog(m *Machine, cfg WatchdogConfig) *watchdog {
 	}
 	w := &watchdog{m: m, cfg: cfg}
 	w.checkFn = w.check
-	m.Eng.Schedule(cfg.Interval, w.checkFn)
+	m.Eng.ScheduleSite(siteWatchdog, cfg.Interval, w.checkFn)
 	return w
 }
 
@@ -92,7 +96,7 @@ func (w *watchdog) check() {
 			return
 		}
 	}
-	w.m.Eng.Schedule(w.cfg.Interval, w.checkFn)
+	w.m.Eng.ScheduleSite(siteWatchdog, w.cfg.Interval, w.checkFn)
 }
 
 func (w *watchdog) fire() {

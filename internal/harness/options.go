@@ -6,6 +6,7 @@ import (
 	"fugu/internal/delivery"
 	"fugu/internal/faultinject"
 	"fugu/internal/glaze"
+	"fugu/internal/sim"
 	"fugu/internal/spans"
 	"fugu/internal/telemetry"
 	"fugu/internal/trace"
@@ -50,6 +51,10 @@ type Options struct {
 	// timelines come back on the point results (Runner.OnTimeline).
 	// Disabled (the zero value) adds no machine state and no events.
 	Telemetry telemetry.Config
+	// Profiler, when non-nil, attaches the engine cost profiler to every
+	// point machine. Like Trace and Spans it is unsynchronized: pair it
+	// with WithParallelism(1) (as `fugusim explain` does).
+	Profiler *sim.Profiler
 }
 
 // Option configures an experiment run.
@@ -110,6 +115,12 @@ func WithTelemetry(cfg telemetry.Config) Option {
 	return optionFunc(func(o *Options) { o.Telemetry = cfg })
 }
 
+// WithProfiler attaches the engine cost profiler to every point machine;
+// run serially (see Options.Profiler).
+func WithProfiler(p *sim.Profiler) Option {
+	return optionFunc(func(o *Options) { o.Profiler = p })
+}
+
 // NewOptions resolves a full option set: the paper's defaults (full sizes,
 // 3 trials, seed 1) overlaid with the given options.
 func NewOptions(opts ...Option) Options {
@@ -147,7 +158,7 @@ func (o Options) trials() int { return max(1, o.Trials) }
 // accepted, so options reach every machine without widening run signatures.
 func (o Options) machineMut(extra func(*glaze.Config)) func(*glaze.Config) {
 	if o.Trace == nil && o.Spans == nil && !o.Watchdog.Enabled() && o.Faults == nil &&
-		o.Policy == nil && !o.Telemetry.Enabled() && extra == nil {
+		o.Policy == nil && !o.Telemetry.Enabled() && o.Profiler == nil && extra == nil {
 		return nil
 	}
 	return func(cfg *glaze.Config) {
@@ -171,6 +182,9 @@ func (o Options) machineMut(extra func(*glaze.Config)) func(*glaze.Config) {
 			// and epoch-scoped, so sharing one across parallel points
 			// would race and interleave.
 			cfg.Telemetry = telemetry.NewRecorder(o.Telemetry)
+		}
+		if o.Profiler != nil {
+			cfg.Profiler = o.Profiler
 		}
 		if extra != nil {
 			extra(cfg)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 
 	"fugu/internal/metrics"
@@ -88,7 +89,12 @@ func (r *Runner) Run(ctx context.Context, exp *Experiment, opts ...Option) (Resu
 				if ctx.Err() != nil {
 					return
 				}
-				results[i], errs[i] = runPoint(ctx, opt, points[i])
+				// Label the goroutine so host CPU/heap profiles attribute
+				// samples to the experiment and sweep point being simulated.
+				pprof.Do(ctx, pprof.Labels("experiment", exp.Name, "point", points[i].Label),
+					func(ctx context.Context) {
+						results[i], errs[i] = runPoint(ctx, opt, points[i])
+					})
 				if r.Progress != nil {
 					mu.Lock()
 					done++

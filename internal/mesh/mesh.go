@@ -218,9 +218,12 @@ func (n *Net) Send(class Class, src, dst int, words []uint64) *Packet {
 		at = last + 1
 	}
 	n.lastArrive[class][src*n.Nodes()+dst] = at
-	n.eng.ScheduleArgAt(at, n.deliverFn, pkt)
+	n.eng.ScheduleArgAtSite(siteDeliver, at, n.deliverFn, pkt)
 	return pkt
 }
+
+// siteDeliver labels packet-arrival events for the engine cost profiler.
+var siteDeliver = sim.NewSite("mesh.deliver")
 
 // deliver offers pkt to its destination, queueing it behind any packets
 // already blocked there so per-pair order is preserved even across refusals.

@@ -530,11 +530,14 @@ func (ni *NI) Launch(kernelPriv bool) Trap {
 		start = ni.outBusyTill
 	}
 	ni.outBusyTill = start + drain
-	ni.eng.Schedule(ni.outBusyTill-ni.eng.Now(), ni.drainFn)
+	ni.eng.ScheduleSite(siteDrain, ni.outBusyTill-ni.eng.Now(), ni.drainFn)
 
 	ni.net.Send(mesh.Main, ni.node, HeaderDst(h), words)
 	return TrapNone
 }
+
+// siteDrain labels output-buffer drain completions for the cost profiler.
+var siteDrain = sim.NewSite("nic.drain")
 
 // SpaceCond returns the condition signalled when the output buffer drains.
 func (ni *NI) SpaceCond() *sim.Cond { return ni.spaceWait }

@@ -55,11 +55,14 @@ func (t *atomicityTimer) update() {
 	if t.userRunning && !t.running {
 		t.startAt = t.eng.Now()
 		t.running = true
-		t.ev = t.eng.Schedule(t.remaining, t.fireFn)
+		t.ev = t.eng.ScheduleSite(siteTimer, t.remaining, t.fireFn)
 	} else if !t.userRunning && t.running {
 		t.pause()
 	}
 }
+
+// siteTimer labels atomicity-timer expiries for the engine cost profiler.
+var siteTimer = sim.NewSite("nic.timer")
 
 // halt stops counting without charging elapsed time (disarm path).
 func (t *atomicityTimer) halt() {
@@ -84,7 +87,7 @@ func (t *atomicityTimer) preset() {
 	if t.running {
 		t.eng.Cancel(t.ev)
 		t.startAt = t.eng.Now()
-		t.ev = t.eng.Schedule(t.remaining, t.fireFn)
+		t.ev = t.eng.ScheduleSite(siteTimer, t.remaining, t.fireFn)
 	}
 }
 

@@ -25,6 +25,7 @@ type Engine struct {
 	rng *Rand
 
 	events *metrics.Counter // dispatched events ("sim.events"), nil-safe
+	prof   *Profiler        // schedule-site cost attribution, nil when disabled
 }
 
 // UseMetrics binds the engine's instruments into a registry. The engine
@@ -60,6 +61,7 @@ func (e *Engine) alloc(delay uint64) *Event {
 	}
 	ev.at = e.now + delay
 	ev.seq = e.seq
+	ev.site = SiteMisc
 	e.seq++
 	return ev
 }
@@ -102,10 +104,12 @@ func (e *Engine) ScheduleArg(delay uint64, fn func(any), arg any) Handle {
 
 // scheduleProc registers a baton dispatch of p at now+delay — the wake path.
 // Storing the proc on the event (rather than a func(){ e.dispatch(p) }
-// closure) is what makes Wake/Sleep allocation-free.
+// closure) is what makes Wake/Sleep allocation-free. Wakes inherit the
+// proc's site label, so a task's resume events attribute to its domain.
 func (e *Engine) scheduleProc(delay uint64, p *Proc) Handle {
 	ev := e.alloc(delay)
 	ev.proc = p
+	ev.site = p.site
 	e.heap.push(ev)
 	return Handle{ev, ev.gen}
 }
@@ -125,6 +129,29 @@ func (e *Engine) ScheduleArgAt(at uint64, fn func(any), arg any) Handle {
 		panic(fmt.Sprintf("sim: ScheduleArgAt(%d) in the past (now=%d)", at, e.now))
 	}
 	return e.ScheduleArg(at-e.now, fn, arg)
+}
+
+// ScheduleSite is Schedule with a profiler site label: the event's
+// dispatch cost is attributed to site instead of SiteMisc. Identical
+// semantics and cost otherwise.
+func (e *Engine) ScheduleSite(site Site, delay uint64, fn func()) Handle {
+	h := e.Schedule(delay, fn)
+	h.ev.site = site
+	return h
+}
+
+// ScheduleArgSite is ScheduleArg with a profiler site label.
+func (e *Engine) ScheduleArgSite(site Site, delay uint64, fn func(any), arg any) Handle {
+	h := e.ScheduleArg(delay, fn, arg)
+	h.ev.site = site
+	return h
+}
+
+// ScheduleArgAtSite is ScheduleArgAt with a profiler site label.
+func (e *Engine) ScheduleArgAtSite(site Site, at uint64, fn func(any), arg any) Handle {
+	h := e.ScheduleArgAt(at, fn, arg)
+	h.ev.site = site
+	return h
 }
 
 // Cancel removes a pending event; cancelling an already-fired, already-
@@ -170,6 +197,9 @@ func (e *Engine) Run() uint64 {
 		}
 		e.now = ev.at
 		e.events.Inc()
+		if e.prof != nil {
+			e.prof.tick(ev.site, e.now)
+		}
 		// Copy the callback out and recycle the slot first, so the callback
 		// itself can schedule into the freed slot.
 		if p := ev.proc; p != nil {

@@ -32,6 +32,7 @@ type Event struct {
 
 	gen   uint32 // bumped on release; Handles carry the gen they were issued at
 	index int32  // heap position, -1 while not queued
+	site  Site   // schedule-site label for the cost profiler (SiteMisc default)
 	next  *Event // free-list link while released
 }
 

@@ -21,6 +21,8 @@ type Proc struct {
 	// issued (see park). Its baton must not be poked until the chain unwinds
 	// back to it, because it is not listening on it.
 	chained bool
+	// site labels this proc's wake events for the cost profiler (SetSite).
+	site Site
 
 	// Tag is free for higher layers (e.g. the CPU scheduler) to attach
 	// identity to a proc; the engine never touches it.
@@ -111,6 +113,9 @@ func (p *Proc) park() {
 		}
 		e.now = ev.at
 		e.events.Inc()
+		if e.prof != nil {
+			e.prof.tick(ev.site, e.now)
+		}
 		if q := ev.proc; q != nil {
 			e.release(ev)
 			if q == p {
@@ -155,6 +160,16 @@ func (p *Proc) Sleep(n uint64) {
 func (p *Proc) Yield() {
 	p.eng.WakeAfter(p, 0)
 	p.park()
+}
+
+// SetSite labels the proc's wake events for the cost profiler: every
+// subsequent WakeAfter (and, retroactively, a wake already pending — in
+// particular the initial dispatch scheduled by Spawn) attributes to s.
+func (p *Proc) SetSite(s Site) {
+	p.site = s
+	if p.wake.Pending() {
+		p.wake.ev.site = s
+	}
 }
 
 // Name returns the proc's diagnostic name.

@@ -59,6 +59,9 @@ const (
 	StageBuffered                // copied into the owner's software buffer
 )
 
+// NumStages is the number of pipeline stages a span can dwell in.
+const NumStages = 4
+
 func (s Stage) String() string {
 	switch s {
 	case StageSent:
@@ -73,6 +76,20 @@ func (s Stage) String() string {
 		return fmt.Sprintf("stage(%d)", int(s))
 	}
 }
+
+// StageEvent is one entry of a span's stage timeline: when the span
+// entered a stage, and why.
+type StageEvent struct {
+	At    uint64
+	Stage Stage
+	Cause string
+}
+
+// maxTimeline bounds the per-span stage timeline. The pipeline visits each
+// stage at most once (sent → [net-blocked] → queued → [buffered]), so four
+// entries suffice; the slack absorbs an anomalous revisit without losing
+// the head of the story.
+const maxTimeline = 6
 
 // Span is the recorded lifecycle of one message. Epoch distinguishes
 // machines when one recorder observes several sequentially-built machines
@@ -90,8 +107,49 @@ type Span struct {
 	Stage  Stage
 	Cause  string // why the span last changed stage ("gid-mismatch", "divert", ...)
 
+	// Latency anatomy: when the current stage was entered, cycles dwelt
+	// per stage so far, and the stage-transition timeline. For a terminal
+	// span the dwells sum exactly to EndAt-SentAt (the conservation
+	// invariant Check enforces).
+	EnteredAt uint64
+	Dwell     [NumStages]uint64
+	EndAt     uint64
+	Term      Terminal
+
+	timeline [maxTimeline]StageEvent
+	steps    int
+
 	Handler     uint64 // handler word, once a dispatch observed it
 	HandlerSeen bool
+}
+
+// History returns the span's stage-transition timeline in order: one entry
+// per stage entered, starting with StageSent at SentAt.
+func (s *Span) History() []StageEvent { return s.timeline[:s.steps] }
+
+// Latency returns the span's end-to-end latency, 0 while in flight.
+func (s *Span) Latency() uint64 {
+	if s.Term == TermNone {
+		return 0
+	}
+	return s.EndAt - s.SentAt
+}
+
+// advance closes the dwell of the current stage and enters the next one.
+// The engine clock is monotone, so at < EnteredAt indicates recorder
+// misuse; the caller records the violation, advance just clamps.
+func (s *Span) advance(at uint64, stage Stage, cause string) {
+	if at >= s.EnteredAt {
+		s.Dwell[s.Stage] += at - s.EnteredAt
+		s.EnteredAt = at
+	}
+	s.LastAt = at
+	s.Stage = stage
+	s.Cause = cause
+	if s.steps < maxTimeline {
+		s.timeline[s.steps] = StageEvent{At: at, Stage: stage, Cause: cause}
+		s.steps++
+	}
 }
 
 func (s Span) String() string {
@@ -143,6 +201,8 @@ type Recorder struct {
 	inflight map[key]*Span
 	counts   Counts
 
+	anatomy anatomy // per-stage dwell aggregation over terminal spans
+
 	violations        []string
 	violationsDropped int
 
@@ -173,6 +233,16 @@ func (r *Recorder) Epoch() int {
 	return r.epoch
 }
 
+// SetPolicy records the delivery-policy name under which subsequent spans
+// terminate, keying the per-policy dwell anatomy. glaze.NewMachine calls
+// this with the machine's resolved policy when a recorder is installed.
+func (r *Recorder) SetPolicy(name string) {
+	if r == nil {
+		return
+	}
+	r.anatomy.policy = name
+}
+
 func (r *Recorder) violate(format string, args ...any) {
 	if len(r.violations) >= maxViolations {
 		r.violationsDropped++
@@ -192,10 +262,13 @@ func (r *Recorder) Begin(at, id uint64, class string, src, dst, words int) {
 		return
 	}
 	r.counts.Begun++
-	r.inflight[k] = &Span{
+	s := &Span{
 		Epoch: r.epoch, ID: id, Class: class, Src: src, Dst: dst, Words: words,
-		SentAt: at, LastAt: at, Stage: StageSent,
+		SentAt: at, LastAt: at, Stage: StageSent, EnteredAt: at,
 	}
+	s.timeline[0] = StageEvent{At: at, Stage: StageSent}
+	s.steps = 1
+	r.inflight[k] = s
 	r.log.Add(at, src, trace.Span, "begin #%d %s ->%d %dw", id, class, dst, words)
 }
 
@@ -225,19 +298,31 @@ func (r *Recorder) NetBlock(at, id uint64) {
 		return
 	}
 	if s := r.get(id, "net-block"); s != nil {
-		s.LastAt, s.Stage, s.Cause = at, StageNetBlocked, "backpressure"
+		if at < s.EnteredAt {
+			r.violate("net-block for e%d#%d at %d before stage entry %d", r.epoch, id, at, s.EnteredAt)
+		}
+		s.advance(at, StageNetBlocked, "backpressure")
 		r.log.Add(at, s.Dst, trace.Span, "net-block #%d", id)
 	}
 }
 
 // Queued records acceptance into a node's input queue (NI or OS endpoint).
+// The cause distinguishes a first-offer acceptance ("accepted") from a
+// packet the network had to hold under backpressure first ("drain").
 func (r *Recorder) Queued(at, id uint64, node int) {
 	if r == nil {
 		return
 	}
 	if s := r.get(id, "queued"); s != nil {
-		s.LastAt, s.Stage, s.Cause = at, StageQueued, ""
-		r.log.Add(at, node, trace.Span, "queued #%d", id)
+		cause := "accepted"
+		if s.Stage == StageNetBlocked {
+			cause = "drain"
+		}
+		if at < s.EnteredAt {
+			r.violate("queued for e%d#%d at %d before stage entry %d", r.epoch, id, at, s.EnteredAt)
+		}
+		s.advance(at, StageQueued, cause)
+		r.log.Add(at, node, trace.Span, "queued #%d (%s)", id, cause)
 	}
 }
 
@@ -252,7 +337,10 @@ func (r *Recorder) Insert(at, id uint64, node int, cause string) {
 			r.violate("double insert for e%d#%d", r.epoch, id)
 			return
 		}
-		s.LastAt, s.Stage, s.Cause = at, StageBuffered, cause
+		if at < s.EnteredAt {
+			r.violate("insert for e%d#%d at %d before stage entry %d", r.epoch, id, at, s.EnteredAt)
+		}
+		s.advance(at, StageBuffered, cause)
 		r.counts.Inserts++
 		r.log.Add(at, node, trace.Span, "insert #%d (%s)", id, cause)
 	}
@@ -313,6 +401,26 @@ func (r *Recorder) End(at, id uint64, node int, term Terminal) {
 		r.violate("end with non-terminal state for e%d#%d", r.epoch, id)
 		return
 	}
+	// Close the final stage's dwell and enforce the conservation invariant:
+	// per-stage dwells sum exactly to the end-to-end latency. advance()
+	// makes this true by construction, so a mismatch means a transition
+	// bypassed the dwell bookkeeping (or the clock ran backwards).
+	if at >= s.EnteredAt {
+		s.Dwell[s.Stage] += at - s.EnteredAt
+		s.EnteredAt = at
+	} else {
+		r.violate("end for e%d#%d at %d before stage entry %d", r.epoch, id, at, s.EnteredAt)
+	}
+	s.LastAt, s.EndAt, s.Term = at, at, term
+	var dwellSum uint64
+	for _, d := range s.Dwell {
+		dwellSum += d
+	}
+	if dwellSum != at-s.SentAt {
+		r.violate("dwell conservation broken for e%d#%d: stage dwells sum to %d, end-to-end latency is %d",
+			r.epoch, id, dwellSum, at-s.SentAt)
+	}
+	r.anatomy.observe(s)
 	r.log.Add(at, node, trace.Span, "end #%d %s", id, term)
 }
 
@@ -394,6 +502,10 @@ func (r *Recorder) Check(metricFast, metricBuffered uint64) []string {
 	if r.counts.Buffered != r.counts.Inserts {
 		out = append(out, fmt.Sprintf("buffered drains (%d) != inserts (%d): messages stuck in a software buffer",
 			r.counts.Buffered, r.counts.Inserts))
+	}
+	if d, l := r.anatomy.dwellTotal(), r.anatomy.latencySum; d != l {
+		out = append(out, fmt.Sprintf("per-stage dwells over terminal spans sum to %d cycles, end-to-end latencies to %d: anatomy lost time",
+			d, l))
 	}
 	out = append(out, r.Violations()...)
 	return out

@@ -43,7 +43,9 @@ func WriteJSONL(w io.Writer, tls []LabeledTimeline) error {
 
 // WriteCSV renders the timelines as one wide CSV: fixed identity columns
 // followed by the sorted union of instrument columns across every point —
-// "c:<name>" counter deltas, "g:<name>.cur"/".max" gauge levels and
+// "c:<name>" counter deltas, "d:<stage>" per-stage dwell-cycle deltas
+// (present only when a spans recorder fed the sampler),
+// "g:<name>.cur"/".max" gauge levels and
 // "h:<name>.count"/".sum"/".p50"/".p90"/".p99"/".max" histogram activity.
 // Cells for instruments silent in an interval are empty (read them as 0).
 // Field escaping is metrics.CSVField, the same writer the snapshot CSV
@@ -82,6 +84,9 @@ func instrumentColumns(tls []LabeledTimeline) []string {
 			for name := range iv.Counters {
 				set["c:"+name] = struct{}{}
 			}
+			for name := range iv.Dwell {
+				set["d:"+name] = struct{}{}
+			}
 			for name := range iv.Gauges {
 				set["g:"+name+".cur"] = struct{}{}
 				set["g:"+name+".max"] = struct{}{}
@@ -110,6 +115,10 @@ func cellValue(iv Interval, col string) string {
 	switch kind {
 	case "c:":
 		if d, ok := iv.Counters[rest]; ok {
+			return fmt.Sprint(d)
+		}
+	case "d:":
+		if d, ok := iv.Dwell[rest]; ok {
 			return fmt.Sprint(d)
 		}
 	case "g:":

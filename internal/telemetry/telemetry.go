@@ -91,6 +91,12 @@ type Interval struct {
 	// Hists holds the interval activity of every histogram that recorded
 	// at least one sample in the interval.
 	Hists map[string]HistDelta `json:"hists,omitempty"`
+	// Dwell holds per-pipeline-stage dwell-cycle deltas: cycles charged to
+	// each stage by message spans that terminated within the interval
+	// (keyed by spans.Stage names). Present only when a spans recorder
+	// feeds the sampler; zero deltas are omitted, so the column set of
+	// dwell-free timelines is unchanged.
+	Dwell map[string]uint64 `json:"dwell,omitempty"`
 }
 
 // Sample is the raw machine state handed to Record/Finish at one instant;
@@ -102,6 +108,10 @@ type Sample struct {
 	QueueSum      int
 	QueueMax      int
 	Modes         string
+	// Dwell is the cumulative per-stage dwell total over terminated spans
+	// at the sample (spans.Recorder.StageDwellTotals), nil when no spans
+	// recorder is installed. The recorder diffs consecutive samples.
+	Dwell map[string]uint64
 }
 
 // Timeline is a recorder's retained record sequence plus the final totals.
@@ -179,7 +189,8 @@ type Recorder struct {
 	epoch    int
 	attached bool // AttachMachine seen at least once
 
-	prev      metrics.Snapshot // snapshot at the previous sample of this epoch
+	prev      metrics.Snapshot  // snapshot at the previous sample of this epoch
+	prevDwell map[string]uint64 // cumulative dwell at the previous sample
 	lastAt    uint64
 	hasSample bool // any sample recorded in the current epoch
 	finished  bool // Finish seen for the current epoch
@@ -223,6 +234,7 @@ func (r *Recorder) AttachMachine() {
 	}
 	r.attached = true
 	r.prev = metrics.Snapshot{}
+	r.prevDwell = nil
 	r.lastAt = 0
 	r.hasSample = false
 	r.finished = false
@@ -239,6 +251,7 @@ func (r *Recorder) Record(s Sample) {
 		r.cfg.OnSample(iv)
 	}
 	r.prev = s.Snap
+	r.prevDwell = s.Dwell
 	r.lastAt = s.At
 	r.hasSample = true
 }
@@ -271,6 +284,7 @@ func (r *Recorder) Finish(s Sample) Timeline {
 		}
 		r.totals = metrics.Merge(r.totals, s.Snap)
 		r.prev = s.Snap
+		r.prevDwell = s.Dwell
 		r.lastAt = s.At
 		r.hasSample = true
 		r.finished = true
@@ -344,6 +358,14 @@ func (r *Recorder) delta(s Sample) Interval {
 		hd.P50, hd.P90, hd.P99 = bucketQuantiles(prev, h, dc)
 		iv.Hists[name] = hd
 	}
+	for name, v := range s.Dwell {
+		if d := v - r.prevDwell[name]; d != 0 {
+			if iv.Dwell == nil {
+				iv.Dwell = make(map[string]uint64)
+			}
+			iv.Dwell[name] = d
+		}
+	}
 	return iv
 }
 
@@ -377,9 +399,12 @@ func bucketQuantiles(prev, cur metrics.HistogramValue, dc uint64) (p50, p90, p99
 	return p50, p90, p99
 }
 
-// intervalActive reports whether the interval carries any counter or
-// histogram activity (gauge levels alone don't warrant a closing record).
-func intervalActive(iv Interval) bool { return len(iv.Counters) > 0 || len(iv.Hists) > 0 }
+// intervalActive reports whether the interval carries any counter,
+// histogram or dwell activity (gauge levels alone don't warrant a closing
+// record).
+func intervalActive(iv Interval) bool {
+	return len(iv.Counters) > 0 || len(iv.Hists) > 0 || len(iv.Dwell) > 0
+}
 
 // push appends an interval to the ring, evicting the oldest when full.
 func (r *Recorder) push(iv Interval) {
@@ -423,6 +448,12 @@ func (r *Recorder) foldIntoLast(iv Interval) {
 		prev.Sum += hd.Sum
 		prev.Max = hd.Max
 		last.Hists[name] = prev
+	}
+	for name, d := range iv.Dwell {
+		if last.Dwell == nil {
+			last.Dwell = make(map[string]uint64)
+		}
+		last.Dwell[name] += d
 	}
 	last.Gauges = iv.Gauges
 	last.SpansInFlight = iv.SpansInFlight

@@ -5,6 +5,7 @@ import (
 
 	"fugu/internal/cpu"
 	"fugu/internal/nic"
+	"fugu/internal/sim"
 )
 
 // upcall is the body of the process's message-handling activity, installed
@@ -252,7 +253,14 @@ func (e *Env) Peek() *Msg {
 // ordinary user priority once the handler completes.
 func (e *Env) Spawn(name string, fn func(e *Env)) {
 	ep := e.EP
-	ep.p.SpawnThread(name, func(t *cpu.Task) {
+	t := ep.p.SpawnThread(name, func(t *cpu.Task) {
 		fn(&Env{T: t, EP: ep})
 	})
+	// Handler-converted threads wake on their own cadence, not the
+	// generic task clock: label them so the cost profiler can separate
+	// UDM handler work from main-thread compute.
+	t.SetWakeSite(siteHandlerWake)
 }
+
+// siteHandlerWake labels wakes of handler-converted UDM threads.
+var siteHandlerWake = sim.NewSite("udm.handler.wake")
