@@ -37,12 +37,14 @@ type BenchRow struct {
 func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	common := registerCommon(fs)
-	out := fs.String("o", "BENCH_4.json", "write the JSON report to this path (- for stdout only)")
+	out := fs.String("o", "BENCH_9.json", "write the JSON report to this path (- for stdout only)")
 	force := fs.Bool("force", false, "overwrite an existing -o report file")
 	baseline := fs.String("baseline", "", "compare against this committed report; exit 1 on regression")
 	maxRegress := fs.Float64("max-regress", 0.20, "tolerated fractional throughput drop vs -baseline")
 	maxAllocRegress := fs.Float64("max-alloc-regress", 0.10,
 		"tolerated fractional allocs/event growth vs -baseline (plus a 0.01 absolute epsilon)")
+	minSpeedup := fs.Float64("min-speedup", 0,
+		"fail unless bigmesh-p4 beats bigmesh-p1 throughput by this factor (only enforced with 4+ cores)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the bench run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	fs.Usage = func() {
@@ -115,6 +117,23 @@ func benchCmd(args []string) {
 			return keep("crlstress", row.Cycles, snap, tl)
 		}),
 	}
+	// The bigmesh pair measures the parallel partition driver itself: the
+	// same open-loop traffic serial and sharded four ways. Identical
+	// simulations (the determinism tests pin byte-equality), so the
+	// throughput ratio is a pure measurement of the window protocol.
+	bmCfg := harness.DefaultBigMesh(!*common.full)
+	bmCfg.Seed = s
+	for _, parts := range []int{1, 4} {
+		parts := parts
+		rows = append(rows, measure(fmt.Sprintf("bigmesh-p%d", parts), func() (uint64, metrics.Snapshot) {
+			cfg := bmCfg
+			cfg.Parts = parts
+			res, err := harness.RunBigMesh(cfg)
+			mustOK(fmt.Sprintf("bigmesh-p%d", parts), err)
+			snaps[fmt.Sprintf("bigmesh-p%d", parts)] = res.Metrics
+			return res.Cycles, res.Metrics
+		}))
+	}
 	var labeled []telemetry.LabeledTimeline
 	for i, r := range rows {
 		if tl := tlsByName[r.Workload]; !tl.Empty() {
@@ -148,6 +167,13 @@ func benchCmd(args []string) {
 		os.Stdout.Write(data)
 	}
 
+	if report, ok := checkSpeedup(rows, *minSpeedup); report != "" {
+		fmt.Fprint(os.Stderr, report)
+		if !ok {
+			os.Exit(1)
+		}
+	}
+
 	if *baseline != "" {
 		report, ok := compareBaseline(rows, *baseline, *maxRegress, *maxAllocRegress)
 		fmt.Fprint(os.Stderr, report)
@@ -155,6 +181,38 @@ func benchCmd(args []string) {
 			os.Exit(1)
 		}
 	}
+}
+
+// checkSpeedup reports the bigmesh-p4/bigmesh-p1 throughput ratio and — when
+// minSpeedup > 0 — gates on it. The gate only arms on machines with at
+// least 4 CPUs: below that the partitions time-slice one another and the
+// ratio measures the scheduler, not the driver (CI sets -min-speedup; local
+// single-core runs still see the ratio reported).
+func checkSpeedup(rows []BenchRow, minSpeedup float64) (string, bool) {
+	byName := make(map[string]BenchRow, len(rows))
+	for _, r := range rows {
+		byName[r.Workload] = r
+	}
+	p1, ok1 := byName["bigmesh-p1"]
+	p4, ok4 := byName["bigmesh-p4"]
+	if !ok1 || !ok4 || p1.McyclesPerSec == 0 {
+		return "", true
+	}
+	ratio := p4.McyclesPerSec / p1.McyclesPerSec
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench: bigmesh p4/p1 speedup %.2fx (%d CPUs)\n", ratio, runtime.NumCPU())
+	if minSpeedup <= 0 {
+		return b.String(), true
+	}
+	if runtime.NumCPU() < 4 {
+		fmt.Fprintf(&b, "bench: -min-speedup %.2f not enforced: only %d CPUs\n", minSpeedup, runtime.NumCPU())
+		return b.String(), true
+	}
+	if ratio < minSpeedup {
+		fmt.Fprintf(&b, "bench: FAIL bigmesh speedup %.2fx < required %.2fx\n", ratio, minSpeedup)
+		return b.String(), false
+	}
+	return b.String(), true
 }
 
 // measure runs one workload with a clean heap and reports throughput and

@@ -32,6 +32,10 @@ type commonFlags struct {
 	tlEvery     *uint64
 	tlCap       *int
 
+	// parts shards every machine's event engine across this many partition
+	// engines (merged mode: byte-identical results at any value).
+	parts *int
+
 	// policy is the resolved delivery policy, nil when -policy was not given
 	// (the machine default, delivery.TwoCase, then applies).
 	policy delivery.Policy
@@ -52,6 +56,8 @@ func registerCommon(fs *flag.FlagSet) *commonFlags {
 		fmt.Sprintf("flight-recorder ring capacity in intervals (default %d)", telemetry.DefaultCap))
 	c.policyName = fs.String("policy", "",
 		fmt.Sprintf("delivery policy, one of %v (default: twocase)", delivery.Names()))
+	c.parts = fs.Int("parts", 1,
+		"partition the event engine across this many shards (results are byte-identical at any value)")
 	return c
 }
 
@@ -71,6 +77,10 @@ func (c *commonFlags) resolve() {
 		}
 		c.policy = pol
 	}
+	if *c.parts < 1 {
+		fmt.Fprintln(os.Stderr, "fugusim: -parts must be at least 1")
+		os.Exit(2)
+	}
 }
 
 // harnessOptions turns the shared flags into the base harness option set:
@@ -88,6 +98,9 @@ func (c *commonFlags) harnessOptions() []harness.Option {
 	}
 	if tc := c.telemetryConfig(); tc.Enabled() {
 		opts = append(opts, harness.WithTelemetry(tc))
+	}
+	if *c.parts > 1 {
+		opts = append(opts, harness.WithPartitions(*c.parts))
 	}
 	return opts
 }
@@ -170,16 +183,19 @@ func (c *commonFlags) vetArtifacts(force bool, names ...string) error {
 // per-machine timelines independent.
 func (c *commonFlags) configMut() func(*glaze.Config) {
 	tc := c.telemetryConfig()
-	if c.policy == nil && !tc.Enabled() {
+	if c.policy == nil && !tc.Enabled() && *c.parts <= 1 {
 		return nil
 	}
-	pol := c.policy
+	pol, parts := c.policy, *c.parts
 	return func(cfg *glaze.Config) {
 		if pol != nil {
 			cfg.Delivery = pol
 		}
 		if tc.Enabled() {
 			cfg.Telemetry = telemetry.NewRecorder(tc)
+		}
+		if parts > 1 {
+			cfg.Partitions = parts
 		}
 	}
 }

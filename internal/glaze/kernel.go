@@ -214,6 +214,7 @@ func (k *Kernel) mismatchISR(t *cpu.Task) {
 			t.Spend(k.cost.BufferInsertMin) // treat as a short kernel handler
 			k.m.Spans.End(k.m.Eng.Now(), pkt.ID, k.node, spans.TermKernel)
 			k.ni.KDispose()
+			k.m.Net.Release(k.node, pkt)
 			continue
 		}
 		p := k.procs[nic.HeaderGID(h)]
@@ -226,8 +227,11 @@ func (k *Kernel) mismatchISR(t *cpu.Task) {
 			t.Spend(k.cost.BufferInsertMin)
 			k.m.Spans.End(k.m.Eng.Now(), pkt.ID, k.node, spans.TermStray)
 			k.ni.KDispose()
+			k.m.Net.Release(k.node, pkt)
 			continue
 		}
+		// No release after bufferInsert: the delivery store may retain the
+		// packet's Words (zero-copy remap installs them as the page).
 		k.bufferInsert(t, p, pkt)
 		k.ni.KDispose()
 	}
@@ -645,7 +649,9 @@ func (k *Kernel) maybeLiftOverflow(p *Process) {
 // on the reserved OS network — the guaranteed, deadlock-free path.
 func (k *Kernel) broadcastOS(op, arg uint64) {
 	for n := 0; n < k.m.Net.Nodes(); n++ {
-		k.m.Net.Send(mesh.OS, k.node, n, []uint64{nic.MakeKernelHeader(n), op, arg})
+		pkt := k.m.Net.Acquire(k.node, 3)
+		pkt.Words[0], pkt.Words[1], pkt.Words[2] = nic.MakeKernelHeader(n), op, arg
+		k.m.Net.SendPacket(mesh.OS, k.node, n, pkt)
 	}
 }
 
@@ -673,6 +679,7 @@ func (k *Kernel) osISR(t *cpu.Task) {
 	t.Spend(k.cost.BufferInsertMin) // nominal handler cost
 	k.m.Spans.End(k.m.Eng.Now(), pkt.ID, k.node, spans.TermKernel)
 	op, arg := pkt.Words[1], pkt.Words[2]
+	k.m.Net.Release(k.node, pkt)
 	p := k.procs[nic.GID(arg)]
 	if p == nil {
 		return

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// smallBigMesh is the test-sized workload: big enough that every partition
+// owns hundreds of nodes and the windows stage real cross-partition
+// traffic, small enough for every `go test` cycle.
+func smallBigMesh(parts int) BigMeshConfig {
+	cfg := DefaultBigMesh(true)
+	cfg.W, cfg.H, cfg.Msgs = 16, 16, 20
+	cfg.Parts = parts
+	return cfg
+}
+
+// TestBigMeshDeterminism pins the parallel driver's contract on a
+// partition-clean model: every observable — end time, event count,
+// deliveries, the latency sum, even the largest drain batch — is identical
+// whether the 16x16 mesh runs on one engine or sharded across 2 or 4
+// parallel partitions with conservative lookahead windows.
+func TestBigMeshDeterminism(t *testing.T) {
+	serial, err := RunBigMesh(smallBigMesh(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Refused != 0 {
+		t.Fatalf("default config must be refusal-free, got %d refusals", serial.Refused)
+	}
+	if serial.MaxBatch < 2 {
+		t.Errorf("max drain batch %d: workload never coalesced same-cycle arrivals, batching untested", serial.MaxBatch)
+	}
+	for _, parts := range []int{2, 4} {
+		got, err := RunBigMesh(smallBigMesh(parts))
+		if err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+		if got.Barriers == 0 || got.Staged == 0 {
+			t.Errorf("parts=%d: barriers=%d staged=%d — parallel driver never engaged",
+				parts, got.Barriers, got.Staged)
+		}
+		// Barriers/Staged describe the driver, not the simulation; blank
+		// them before comparing the simulation observables.
+		got.Barriers, got.Staged = 0, 0
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("parts=%d diverges from serial:\n  serial %+v\n  parts  %+v", parts, serial, got)
+		}
+	}
+}
+
+// TestBigMeshRepeatable: two runs at the same partition count are
+// identical (the parallel windows introduce no scheduling nondeterminism).
+func TestBigMeshRepeatable(t *testing.T) {
+	a, err := RunBigMesh(smallBigMesh(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBigMesh(smallBigMesh(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("two parts=4 runs diverge:\n  a %+v\n  b %+v", a, b)
+	}
+}

@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fugu/internal/delivery"
+	"fugu/internal/faultinject"
+	"fugu/internal/metrics"
+	"fugu/internal/sim"
+	"fugu/internal/spans"
+)
+
+// runCSVs runs one experiment at the reference configuration plus the given
+// partition count and returns its CSV files.
+func runCSVs(t *testing.T, name string, parts int) map[string]string {
+	t.Helper()
+	exp, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("experiment %q not registered", name)
+	}
+	res, err := (&Runner{}).Run(context.Background(), exp,
+		WithQuick(), WithTrials(1), WithSeed(1), WithParallelism(1),
+		WithPartitions(parts))
+	if err != nil {
+		t.Fatalf("%s parts=%d: %v", name, parts, err)
+	}
+	return res.(CSVer).CSVFiles()
+}
+
+// TestPartitionedGoldenCSVs is the tentpole's central contract: sharding the
+// event engine must not change a single byte of output. Table4 and fig9 at
+// 2 and 4 partitions must hash to the same golden pins the serial engine is
+// held to — not merely match each other, but match the pre-partitioning
+// values, so the merged-group driver is proven serial-equivalent end to end
+// (same event order, same rng draws, same cost accounting).
+func TestPartitionedGoldenCSVs(t *testing.T) {
+	for _, name := range []string{"table4", "fig9"} {
+		want := goldenFast[name]
+		for _, parts := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%s/parts=%d", name, parts), func(t *testing.T) {
+				files := runCSVs(t, name, parts)
+				for file, wantHash := range want {
+					sum := sha256.Sum256([]byte(files[file]))
+					if got := hex.EncodeToString(sum[:]); got != wantHash {
+						t.Errorf("%s at %d partitions: %s hash = %s, want golden %s "+
+							"(partitioning must be byte-identical to the serial engine)",
+							name, parts, file, got, wantHash)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPartitionedCrucibleCSV extends byte-equality to the adversarial
+// sweep: fault injection, watchdogs, timeline oracles and all three
+// second-case machineries must behave identically under partitioning.
+// Serial output is the reference; 2 and 4 partitions must reproduce it
+// byte for byte.
+func TestPartitionedCrucibleCSV(t *testing.T) {
+	serial := runCSVs(t, "crucible", 1)
+	partCounts := []int{4}
+	if !testing.Short() {
+		partCounts = []int{2, 4}
+	}
+	for _, parts := range partCounts {
+		parts := parts
+		t.Run(fmt.Sprintf("parts=%d", parts), func(t *testing.T) {
+			got := runCSVs(t, "crucible", parts)
+			if !reflect.DeepEqual(serial, got) {
+				for file, want := range serial {
+					if got[file] != want {
+						t.Errorf("crucible at %d partitions: %s differs from serial output", parts, file)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionedProfilerAttribution: the engine cost profiler's per-site
+// attribution (event counts and simulated cycles, the deterministic
+// columns) must be identical whether the machine runs serial or sharded —
+// merged-mode partitioning dispatches the same events in the same global
+// order, so every site is charged the same cycles.
+func TestPartitionedProfilerAttribution(t *testing.T) {
+	run := func(parts int) sim.Profile {
+		prof := sim.NewProfiler(sim.ProfilerConfig{})
+		exp, _ := Lookup("table4")
+		_, err := (&Runner{}).Run(context.Background(), exp,
+			WithQuick(), WithTrials(1), WithSeed(1), WithParallelism(1),
+			WithProfiler(prof), WithPartitions(parts))
+		if err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+		return prof.Snapshot()
+	}
+	serial := run(1)
+	if serial.Events == 0 {
+		t.Fatal("profiler observed no events")
+	}
+	parted := run(3)
+	if !reflect.DeepEqual(serial, parted) {
+		t.Errorf("profiler attribution diverges at 3 partitions:\n  serial %+v\n  parts  %+v",
+			serial, parted)
+	}
+}
+
+// TestPartitionedFaultPolicyProperty is the property-based sweep over the
+// full configuration cross product: for ANY random fault plan, under every
+// registered delivery policy, a 3-partition run must agree with the serial
+// run on every observable (row, metrics snapshot) and still reconcile its
+// spans against the delivery counters.
+func TestPartitionedFaultPolicyProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep skipped in -short mode")
+	}
+	check := func(seed uint64, pMis, pRev, pStall uint8) bool {
+		plan := cruciblePlan{
+			name: fmt.Sprintf("part-prop-%#x", seed),
+			arm: func(p *faultinject.Plan) {
+				w := func(b uint8, cycles uint64) faultinject.FaultSpec {
+					return faultinject.FaultSpec{
+						Prob: float64(b) / 365.0,
+						From: crucibleFaultsStart, Until: crucibleFaultsLift,
+						Cycles: cycles, Node: faultinject.AllNodes,
+					}
+				}
+				p.Arm(faultinject.GIDMismatch, w(pMis, 0))
+				p.Arm(faultinject.AtomicityTimeout, w(pRev, 0))
+				p.Arm(faultinject.LinkStall, w(pStall, 250))
+			},
+		}
+		for _, polName := range delivery.Names() {
+			pol, err := delivery.ByName(polName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(parts int) (cruciblePoint, metrics.Snapshot, *spans.Recorder) {
+				rec := spans.NewRecorder(nil)
+				opt := NewOptions(WithQuick(), WithTrials(1), WithSeed(seed),
+					WithDeliveryPolicy(pol), WithSpans(rec), WithPartitions(parts))
+				pt := runCrucible(plan, 0, opt)
+				return pt, pt.snap, rec
+			}
+			serial, serialSnap, _ := run(1)
+			parted, partedSnap, rec := run(3)
+			if !reflect.DeepEqual(serial.row, parted.row) {
+				t.Logf("seed=%#x policy=%s: rows diverge\n  serial %+v\n  parts=3 %+v",
+					seed, polName, serial.row, parted.row)
+				return false
+			}
+			if !reflect.DeepEqual(serialSnap, partedSnap) {
+				t.Logf("seed=%#x policy=%s: metrics snapshots diverge", seed, polName)
+				return false
+			}
+			if probs := rec.Check(partedSnap.Counters["glaze.deliver.fast"],
+				partedSnap.Counters["glaze.deliver.buffered"]); len(probs) != 0 {
+				t.Logf("seed=%#x policy=%s parts=3: span invariants violated: %v",
+					seed, polName, probs)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}

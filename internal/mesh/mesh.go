@@ -99,6 +99,18 @@ type Net struct {
 	nextID    uint64
 	deliverFn func(any) // n.deliver bound once; Send schedules it with the packet as arg
 
+	// engs maps each node to its partition engine, nil when the whole mesh
+	// lives on one engine. parallel is set when those engines belong to a
+	// parallel group: injections then route through the conservative
+	// staging protocol and per-node ID lanes (see ShardEngines).
+	engs     []*sim.Engine
+	parallel bool
+	// ids are the per-node injection counters used instead of nextID in
+	// parallel mode (a shared counter would race and make IDs depend on
+	// worker interleaving). The source index in the high bits keeps IDs
+	// globally unique and deterministic.
+	ids []uint64
+
 	endpoints [numClasses][]Endpoint
 	// blocked packets per (class, dst), FIFO in arrival order.
 	blocked [numClasses][][]*Packet
@@ -106,7 +118,14 @@ type Net struct {
 	// overtake an earlier long one on the same route (packets follow the
 	// same path and cannot reorder in a wormhole mesh). Indexed src*n+dst.
 	lastArrive [numClasses][]uint64
-	stats      [numClasses]Stats
+	// stats are kept in per-node lanes — Packets/Words owned by the
+	// sender, Refused by the receiver — so parallel partitions never write
+	// the same word; StatsFor sums them.
+	stats [numClasses][]Stats
+	// pool recycles packets per node: Acquire pops the node's free list,
+	// Release pushes it. Per-node lists keep the pool partition-clean (a
+	// node only ever touches its own lane from its own engine).
+	pool [][]*Packet
 
 	// Metrics instruments, nil (no-op) unless UseMetrics is called.
 	mPackets [numClasses]*metrics.Counter
@@ -150,12 +169,44 @@ func New(eng *sim.Engine, w, h int, lat LatencyModel) *Net {
 	n := w * h
 	net := &Net{eng: eng, w: w, h: h, lat: lat}
 	net.deliverFn = func(arg any) { net.deliver(arg.(*Packet)) }
+	net.pool = make([][]*Packet, n)
 	for c := range net.endpoints {
 		net.endpoints[c] = make([]Endpoint, n)
 		net.blocked[c] = make([][]*Packet, n)
 		net.lastArrive[c] = make([]uint64, n*n)
+		net.stats[c] = make([]Stats, n)
 	}
 	return net
+}
+
+// ShardEngines places each node on its partition engine (engs[node]); the
+// constructor engine remains the default for nodes past the slice. With a
+// parallel group, packet IDs switch to per-source lanes (src<<40 | seq) and
+// UseMetrics/UseSpans/UseFaults must not be used — those observers are
+// shared mutable state, exactly what parallel partitions cannot have.
+func (n *Net) ShardEngines(engs []*sim.Engine) {
+	if len(engs) != n.Nodes() {
+		panic(fmt.Sprintf("mesh: ShardEngines got %d engines for %d nodes", len(engs), n.Nodes()))
+	}
+	n.engs = engs
+	n.parallel = engs[0].Group() != nil && engs[0].Group().Mode() == sim.Parallel
+	if n.parallel {
+		n.ids = make([]uint64, n.Nodes())
+	}
+}
+
+// EngineFor returns the engine owning a node's events: the node's
+// partition engine after ShardEngines, the constructor engine otherwise.
+// Workloads schedule a node's local events through it so they land on the
+// heap that node's deliveries drain from.
+func (n *Net) EngineFor(node int) *sim.Engine { return n.engAt(node) }
+
+// engAt returns the engine owning a node's events.
+func (n *Net) engAt(node int) *sim.Engine {
+	if n.engs == nil {
+		return n.eng
+	}
+	return n.engs[node]
 }
 
 // Nodes returns the node count.
@@ -179,8 +230,47 @@ func (n *Net) Register(node int, class Class, ep Endpoint) {
 	n.endpoints[class][node] = ep
 }
 
-// StatsFor returns traffic counters for a logical network.
-func (n *Net) StatsFor(class Class) Stats { return n.stats[class] }
+// StatsFor returns traffic counters for a logical network, summed over the
+// per-node lanes.
+func (n *Net) StatsFor(class Class) Stats {
+	var total Stats
+	for _, s := range n.stats[class] {
+		total.Packets += s.Packets
+		total.Words += s.Words
+		total.Refused += s.Refused
+	}
+	return total
+}
+
+// Acquire returns a packet whose Words slice has length words, recycled
+// from the node's free list when one is available. The caller fills Words
+// and injects with SendPacket; a receiver done with a packet hands it back
+// via Release. Pooling never changes event order or RNG draws, so results
+// are identical to freshly allocated packets.
+func (n *Net) Acquire(node, words int) *Packet {
+	var pkt *Packet
+	if q := n.pool[node]; len(q) > 0 {
+		pkt = q[len(q)-1]
+		q[len(q)-1] = nil
+		n.pool[node] = q[:len(q)-1]
+	} else {
+		pkt = &Packet{}
+	}
+	if cap(pkt.Words) < words {
+		pkt.Words = make([]uint64, words)
+	} else {
+		pkt.Words = pkt.Words[:words]
+	}
+	return pkt
+}
+
+// Release returns a packet to node's free list. Callers must only release
+// packets no component still references: the fast-dispose and kernel-drop
+// paths qualify (the message words were consumed before disposal); the
+// buffered paths do not (the delivery store may retain Words).
+func (n *Net) Release(node int, pkt *Packet) {
+	n.pool[node] = append(n.pool[node], pkt)
+}
 
 // Send injects a packet. words[0] must already hold the routing header; the
 // destination is passed explicitly since header encoding belongs to the NI.
@@ -188,24 +278,37 @@ func (n *Net) StatsFor(class Class) Stats { return n.stats[class] }
 // Base + PerHop*hops + PerWord*len cycles; local sends (src == dst) skip the
 // hop cost but still traverse the interface.
 func (n *Net) Send(class Class, src, dst int, words []uint64) *Packet {
+	pkt := n.Acquire(src, 0)
+	pkt.Words = words
+	return n.SendPacket(class, src, dst, pkt)
+}
+
+// SendPacket injects a caller-filled packet (see Acquire): the Send fast
+// path without the per-message Words allocation. The packet's Words must
+// already hold the routing header and payload.
+func (n *Net) SendPacket(class Class, src, dst int, pkt *Packet) *Packet {
 	if dst < 0 || dst >= n.Nodes() {
 		panic(fmt.Sprintf("mesh: send to invalid node %d", dst))
 	}
-	pkt := &Packet{
-		ID:     n.nextID,
-		Src:    src,
-		Dst:    dst,
-		Class:  class,
-		Words:  words,
-		SentAt: n.eng.Now(),
+	se := n.engAt(src)
+	now := se.Now()
+	pkt.Src, pkt.Dst, pkt.Class = src, dst, class
+	pkt.SentAt = now
+	pkt.ArrivedAt = 0
+	pkt.FaultMismatch = false
+	if n.parallel {
+		pkt.ID = uint64(src)<<40 | n.ids[src]
+		n.ids[src]++
+	} else {
+		pkt.ID = n.nextID
+		n.nextID++
 	}
-	n.nextID++
-	n.rec.Begin(pkt.SentAt, pkt.ID, class.String(), src, dst, len(words))
-	n.stats[class].Packets++
-	n.stats[class].Words += uint64(len(words))
+	n.rec.Begin(pkt.SentAt, pkt.ID, class.String(), src, dst, len(pkt.Words))
+	n.stats[class][src].Packets++
+	n.stats[class][src].Words += uint64(len(pkt.Words))
 	n.mPackets[class].Inc()
-	n.mWords[class].Add(uint64(len(words)))
-	at := n.eng.Now() + n.lat.Delay(n.Hops(src, dst), len(words))
+	n.mWords[class].Add(uint64(len(pkt.Words)))
+	at := now + n.lat.Delay(n.Hops(src, dst), len(pkt.Words))
 	if class == Main {
 		// Fault-plan congestion lands before the FIFO clamp below, so
 		// injected stalls can delay but never reorder a pair's traffic.
@@ -218,7 +321,7 @@ func (n *Net) Send(class Class, src, dst int, words []uint64) *Packet {
 		at = last + 1
 	}
 	n.lastArrive[class][src*n.Nodes()+dst] = at
-	n.eng.ScheduleArgAtSite(siteDeliver, at, n.deliverFn, pkt)
+	se.CrossScheduleArgAtSite(n.engAt(dst), siteDeliver, at, n.deliverFn, pkt)
 	return pkt
 }
 
@@ -228,7 +331,7 @@ var siteDeliver = sim.NewSite("mesh.deliver")
 // deliver offers pkt to its destination, queueing it behind any packets
 // already blocked there so per-pair order is preserved even across refusals.
 func (n *Net) deliver(pkt *Packet) {
-	pkt.ArrivedAt = n.eng.Now()
+	pkt.ArrivedAt = n.engAt(pkt.Dst).Now()
 	n.rec.Arrive(pkt.ArrivedAt, pkt.ID)
 	q := n.blocked[pkt.Class][pkt.Dst]
 	if len(q) > 0 {
@@ -243,7 +346,7 @@ func (n *Net) deliver(pkt *Packet) {
 		panic(fmt.Sprintf("mesh: no endpoint for node %d class %s", pkt.Dst, pkt.Class))
 	}
 	if !ep.Arrive(pkt) {
-		n.stats[pkt.Class].Refused++
+		n.stats[pkt.Class][pkt.Dst].Refused++
 		n.mRefused[pkt.Class].Inc()
 		n.blocked[pkt.Class][pkt.Dst] = append(q, pkt)
 		n.mBlocked.Add(1)

@@ -360,11 +360,16 @@ func (ni *NI) Dispose() Trap {
 	}
 	ni.disposed++
 	ni.mDisposed.Inc()
-	ni.rec.End(ni.eng.Now(), ni.in[0].ID, ni.node, spans.TermFast)
+	pkt := ni.in[0]
+	ni.rec.End(ni.eng.Now(), pkt.ID, ni.node, spans.TermFast)
 	ni.popHead()
 	ni.uac &^= UACDisposePending
 	ni.timer.preset()
 	ni.evaluate()
+	// Fast-case disposal is terminal: the handler consumed the words from
+	// the input window before disposing, so the packet is dead and can be
+	// recycled for a future launch from this node.
+	ni.net.Release(ni.node, pkt)
 	return TrapNone
 }
 
@@ -514,9 +519,12 @@ func (ni *NI) Launch(kernelPriv bool) Trap {
 		// Kernel sending on behalf of itself without a stamp: kernel GID.
 		h = stampGID(h, KernelGID)
 	}
-	words := make([]uint64, len(ni.out))
-	copy(words, ni.out)
-	words[0] = h
+	// The descriptor is copied into a pooled packet (recycled by the
+	// fast-dispose and kernel-drop paths), so steady-state launches do not
+	// allocate.
+	pkt := ni.net.Acquire(ni.node, len(ni.out))
+	copy(pkt.Words, ni.out)
+	pkt.Words[0] = h
 	ni.out = ni.out[:0]
 	ni.launched++
 	ni.mLaunched.Inc()
@@ -524,7 +532,7 @@ func (ni *NI) Launch(kernelPriv bool) Trap {
 	// The output buffer drains at link rate; until then space-available
 	// reads zero and blocking stores stall. A DMA-stall fault holds the
 	// descriptor busy longer.
-	drain := ni.cfg.DrainPerWord*uint64(len(words)) + ni.inj.DMAStall(ni.node)
+	drain := ni.cfg.DrainPerWord*uint64(len(pkt.Words)) + ni.inj.DMAStall(ni.node)
 	start := ni.eng.Now()
 	if ni.outBusyTill > start {
 		start = ni.outBusyTill
@@ -532,7 +540,7 @@ func (ni *NI) Launch(kernelPriv bool) Trap {
 	ni.outBusyTill = start + drain
 	ni.eng.ScheduleSite(siteDrain, ni.outBusyTill-ni.eng.Now(), ni.drainFn)
 
-	ni.net.Send(mesh.Main, ni.node, HeaderDst(h), words)
+	ni.net.SendPacket(mesh.Main, ni.node, HeaderDst(h), pkt)
 	return TrapNone
 }
 

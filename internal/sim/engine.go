@@ -26,6 +26,13 @@ type Engine struct {
 
 	events *metrics.Counter // dispatched events ("sim.events"), nil-safe
 	prof   *Profiler        // schedule-site cost attribution, nil when disabled
+
+	// g and part place the engine inside a partition group (see
+	// partition.go); both stay zero for a standalone engine, and every
+	// grouped branch below is a single predictable nil check on the
+	// standalone hot path.
+	g    *Group
+	part int
 }
 
 // UseMetrics binds the engine's instruments into a registry. The engine
@@ -42,10 +49,18 @@ func NewEngine(seed uint64) *Engine {
 	return &Engine{rng: NewRand(seed)}
 }
 
-// Now returns the current simulation time in cycles.
-func (e *Engine) Now() uint64 { return e.now }
+// Now returns the current simulation time in cycles. Shards of a merged
+// group share one clock.
+func (e *Engine) Now() uint64 {
+	if e.g != nil && e.g.mode == Merged {
+		return e.g.now
+	}
+	return e.now
+}
 
-// Rand returns the engine's deterministic random source.
+// Rand returns the engine's deterministic random source. Shards of a merged
+// group share one stream (they interleave in one global order); parallel
+// shards each own an independent stream.
 func (e *Engine) Rand() *Rand { return e.rng }
 
 // alloc takes an event from the free list (or the allocator, while the pool
@@ -54,15 +69,24 @@ func (e *Engine) Rand() *Rand { return e.rng }
 func (e *Engine) alloc(delay uint64) *Event {
 	ev := e.free
 	if ev == nil {
-		ev = &Event{}
+		ev = &Event{owner: e}
 	} else {
 		e.free = ev.next
 		ev.next = nil
 	}
-	ev.at = e.now + delay
-	ev.seq = e.seq
+	if g := e.g; g != nil && g.mode == Merged {
+		// Merged shards share the clock and the sequence counter, so
+		// schedule order — and therefore every tie-break — is the global
+		// order a single serial engine would have issued.
+		ev.at = g.now + delay
+		ev.seq = g.seq
+		g.seq++
+	} else {
+		ev.at = e.now + delay
+		ev.seq = e.seq
+		e.seq++
+	}
 	ev.site = SiteMisc
-	e.seq++
 	return ev
 }
 
@@ -117,18 +141,20 @@ func (e *Engine) scheduleProc(delay uint64, p *Proc) Handle {
 // ScheduleAt registers fn to run at absolute time at (which must not be in
 // the past) and returns a cancellable handle.
 func (e *Engine) ScheduleAt(at uint64, fn func()) Handle {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: ScheduleAt(%d) in the past (now=%d)", at, e.now))
+	now := e.Now()
+	if at < now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%d) in the past (now=%d)", at, now))
 	}
-	return e.Schedule(at-e.now, fn)
+	return e.Schedule(at-now, fn)
 }
 
 // ScheduleArgAt is ScheduleArg with an absolute fire time.
 func (e *Engine) ScheduleArgAt(at uint64, fn func(any), arg any) Handle {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: ScheduleArgAt(%d) in the past (now=%d)", at, e.now))
+	now := e.Now()
+	if at < now {
+		panic(fmt.Sprintf("sim: ScheduleArgAt(%d) in the past (now=%d)", at, now))
 	}
-	return e.ScheduleArg(at-e.now, fn, arg)
+	return e.ScheduleArg(at-now, fn, arg)
 }
 
 // ScheduleSite is Schedule with a profiler site label: the event's
@@ -155,26 +181,59 @@ func (e *Engine) ScheduleArgAtSite(site Site, at uint64, fn func(any), arg any) 
 }
 
 // Cancel removes a pending event; cancelling an already-fired, already-
-// cancelled or zero handle is a no-op.
+// cancelled or zero handle is a no-op. The removal happens on the owning
+// engine's heap, so cancelling a cross-shard wake inside a merged group is
+// safe.
 func (e *Engine) Cancel(h Handle) {
 	ev := h.ev
 	if ev == nil || ev.gen != h.gen || ev.index < 0 {
 		return
 	}
-	e.heap.remove(int(ev.index))
-	e.release(ev)
+	ow := ev.owner
+	ow.heap.remove(int(ev.index))
+	ow.release(ev)
 }
 
-// Stop makes Run return after the current event completes.
-func (e *Engine) Stop() { e.stopped = true }
+// Stop makes Run return after the current event completes. Stopping any
+// shard of a merged group stops the whole group; in a parallel group the
+// stopping shard's window ends and the coordinator stops at its barrier
+// (other shards finish their current window — the conservative semantics).
+func (e *Engine) Stop() {
+	if g := e.g; g != nil {
+		if g.mode == Merged {
+			g.stopped = true
+			return
+		}
+		e.stopped = true
+		g.parStop.Store(true)
+		return
+	}
+	e.stopped = true
+}
 
 // Stopped reports whether Stop has been called.
-func (e *Engine) Stopped() bool { return e.stopped }
+func (e *Engine) Stopped() bool {
+	if g := e.g; g != nil && g.mode == Merged {
+		return g.stopped
+	}
+	return e.stopped
+}
 
 // Run executes events until the queue empties, Stop is called, or the time
 // Limit is exceeded. It returns the final simulation time. A Stop from a
-// previous Run does not carry over: each Run starts live.
+// previous Run does not carry over: each Run starts live. Running any shard
+// of a partition group drives the whole group (see partition.go).
 func (e *Engine) Run() uint64 {
+	if e.g != nil {
+		return e.g.run(e)
+	}
+	return e.runLocal()
+}
+
+// runLocal is the serial event loop over this engine's own heap — the whole
+// story for a standalone engine, and one shard's share of a parallel window
+// (the group coordinator bounds it with Limit).
+func (e *Engine) runLocal() uint64 {
 	if e.current != nil {
 		panic("sim: Run called from proc context")
 	}
@@ -222,18 +281,38 @@ func (e *Engine) Run() uint64 {
 func (e *Engine) RunUntil(t uint64) uint64 {
 	saved := e.Limit
 	e.Limit = t
-	e.Run()
+	end := e.Run()
 	e.Limit = saved
-	return e.now
+	return end
 }
 
-// Pending reports how many events remain queued.
-func (e *Engine) Pending() int { return e.heap.len() }
+// Pending reports how many events remain queued (across every shard, for a
+// grouped engine).
+func (e *Engine) Pending() int {
+	if g := e.g; g != nil {
+		total := 0
+		for _, sh := range g.shards {
+			total += sh.heap.len()
+		}
+		return total
+	}
+	return e.heap.len()
+}
 
-// LiveProcs reports how many spawned procs have not yet returned. A nonzero
-// value after Run drains the queue usually indicates deadlock: procs parked
-// with nobody left to wake them.
-func (e *Engine) LiveProcs() int { return e.live }
+// LiveProcs reports how many spawned procs have not yet returned (across
+// every shard, for a grouped engine). A nonzero value after Run drains the
+// queue usually indicates deadlock: procs parked with nobody left to wake
+// them.
+func (e *Engine) LiveProcs() int {
+	if g := e.g; g != nil {
+		total := 0
+		for _, sh := range g.shards {
+			total += sh.live
+		}
+		return total
+	}
+	return e.live
+}
 
 // Current returns the proc currently holding the baton, or nil when the
 // engine loop (or an event callback) is executing.

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// script drives one deterministic workload over engs (round-robin placement
+// by index) and returns the observation log: every event records the
+// engine-visible time, the tag, and any RNG draw. The workload mixes plain
+// timers (with same-time cross-shard ties), procs with sleeps, a condition
+// variable whose waiters live on different shards than the signaler, and a
+// cross-shard cancel — every ordering-sensitive engine feature at once.
+func script(engs []*Engine) []string {
+	pick := func(i int) *Engine { return engs[i%len(engs)] }
+	e0 := engs[0]
+	var log []string
+	rec := func(e *Engine, format string, args ...any) {
+		log = append(log, fmt.Sprintf("%d ", e.Now())+fmt.Sprintf(format, args...))
+	}
+
+	cond := NewCond(pick(1))
+	turn := 0
+	for i := 0; i < 5; i++ {
+		e := pick(i)
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(uint64(3 + i%3))
+			rec(e, "w%d awake r=%d", i, e.Rand().Intn(100))
+			for turn != i {
+				cond.Wait(p)
+			}
+			turn++
+			cond.Broadcast()
+			p.Sleep(uint64(2 + i))
+			rec(e, "w%d done", i)
+		})
+	}
+	for i := 0; i < 12; i++ {
+		e := pick(i * 5)
+		j := i
+		e.Schedule(uint64(4+(i%3)), func() { rec(e, "timer %d r=%d", j, e.Rand().Intn(7)) })
+	}
+	// A handle created on one shard, cancelled from an event on another.
+	h := pick(2).Schedule(40, func() { rec(pick(2), "must-not-fire") })
+	pick(3).Schedule(9, func() {
+		pick(0).Cancel(h)
+		rec(pick(3), "cancelled")
+	})
+	end := e0.Run()
+	log = append(log, fmt.Sprintf("end %d pending %d live %d", end, e0.Pending(), e0.LiveProcs()))
+	return log
+}
+
+func runScript(parts int) []string {
+	if parts == 1 {
+		return script([]*Engine{NewEngine(7)})
+	}
+	g := NewMergedGroup(7, parts)
+	engs := make([]*Engine, parts)
+	for i := range engs {
+		engs[i] = g.Shard(i)
+	}
+	return script(engs)
+}
+
+// TestMergedMatchesSerial is the merged-mode contract: any shard count
+// produces the exact serial execution — same dispatch order, same times,
+// same RNG stream — because shards share the clock and sequence counter and
+// the driver pops the global (time, seq) minimum.
+func TestMergedMatchesSerial(t *testing.T) {
+	want := runScript(1)
+	if len(want) < 20 {
+		t.Fatalf("script too small to be a meaningful check: %d entries", len(want))
+	}
+	for _, parts := range []int{2, 3, 5} {
+		got := runScript(parts)
+		if len(got) != len(want) {
+			t.Fatalf("parts=%d: %d log entries, serial has %d", parts, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("parts=%d: entry %d = %q, serial has %q", parts, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMergedRunUntil checks limit semantics through a merged group: time
+// parks exactly at the limit with the future event still queued.
+func TestMergedRunUntil(t *testing.T) {
+	g := NewMergedGroup(1, 2)
+	fired := false
+	g.Shard(1).Schedule(100, func() { fired = true })
+	if end := g.Shard(0).RunUntil(50); end != 50 {
+		t.Fatalf("RunUntil(50) = %d", end)
+	}
+	if fired || g.Shard(0).Pending() != 1 {
+		t.Fatalf("event fired early or lost: fired=%v pending=%d", fired, g.Shard(0).Pending())
+	}
+	if end := g.Shard(0).Run(); end != 100 || !fired {
+		t.Fatalf("resume: end=%d fired=%v", end, fired)
+	}
+}
+
+// parNode is one logical node of the parallel-mode test model: an
+// open-loop sender plus two receive accumulators — an order-sensitive hash
+// (must be identical across runs at the same shard count: worker
+// interleaving must not leak into results) and order-insensitive sums
+// (must be identical across shard counts: the window protocol must
+// preserve event causality exactly).
+type parNode struct {
+	eng      *Engine
+	idx      int
+	rng      *Rand
+	sent     int
+	received uint64
+	hash     uint64
+	sum      uint64
+}
+
+const parLookahead = 8
+
+func runParallelModel(parts int) (hashes, sums []uint64, received, end uint64) {
+	const nodes, msgs = 8, 40
+	g := NewParallelGroup(99, parts, parLookahead)
+	ns := make([]*parNode, nodes)
+	recvFn := func(arg any) {
+		pair := arg.([2]uint64)
+		n := ns[pair[0]]
+		n.received++
+		v := pair[1]
+		n.hash = n.hash*1099511628211 + (n.eng.Now()*31 ^ v)
+		n.sum += n.eng.Now()*31 + v
+	}
+	var sendFn func(any)
+	sendFn = func(arg any) {
+		n := arg.(*parNode)
+		if n.sent >= msgs {
+			return
+		}
+		n.sent++
+		dst := ns[n.rng.Intn(nodes)]
+		delay := parLookahead + n.rng.Uint64n(12)
+		v := n.rng.Uint64() % 1000
+		n.eng.CrossScheduleArgAtSite(dst.eng, SiteMisc, n.eng.Now()+delay, recvFn, [2]uint64{uint64(dst.idx), v})
+		n.eng.ScheduleArg(1+n.rng.Uint64n(10), sendFn, n)
+	}
+	for i := range ns {
+		ns[i] = &parNode{eng: g.Shard(i * parts / nodes), idx: i, rng: NewRand(uint64(1000 + i))}
+	}
+	for _, n := range ns {
+		n.eng.ScheduleArg(n.rng.Uint64n(5), sendFn, n)
+	}
+	end = g.Shard(0).Run()
+	for _, n := range ns {
+		hashes = append(hashes, n.hash)
+		sums = append(sums, n.sum)
+		received += n.received
+	}
+	return hashes, sums, received, end
+}
+
+// TestParallelDeterministicAcrossRuns: the same shard count twice must be
+// bit-identical including same-cycle tie order (the staged-drain fixed
+// order is what guarantees this against goroutine interleaving).
+func TestParallelDeterministicAcrossRuns(t *testing.T) {
+	h1, s1, r1, e1 := runParallelModel(4)
+	h2, s2, r2, e2 := runParallelModel(4)
+	if r1 != r2 || e1 != e2 {
+		t.Fatalf("runs differ: received %d/%d end %d/%d", r1, r2, e1, e2)
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] || s1[i] != s2[i] {
+			t.Fatalf("node %d differs across identical runs: hash %x/%x sum %d/%d", i, h1[i], h2[i], s1[i], s2[i])
+		}
+	}
+}
+
+// TestParallelMatchesSerialCausality: across shard counts the executed
+// event set, times and end time are identical (order within one cycle may
+// legally differ, so the comparison uses the commutative accumulators).
+func TestParallelMatchesSerialCausality(t *testing.T) {
+	_, base, rBase, eBase := runParallelModel(1)
+	var total uint64
+	for _, s := range base {
+		total += s
+	}
+	if total == 0 || rBase == 0 {
+		t.Fatal("base model did nothing")
+	}
+	for _, parts := range []int{2, 4} {
+		_, sums, r, end := runParallelModel(parts)
+		if r != rBase || end != eBase {
+			t.Fatalf("parts=%d: received %d end %d, serial %d/%d", parts, r, end, rBase, eBase)
+		}
+		for i := range base {
+			if sums[i] != base[i] {
+				t.Fatalf("parts=%d: node %d sum %d, serial %d", parts, i, sums[i], base[i])
+			}
+		}
+	}
+}
+
+// TestParallelLookaheadViolationPanics: staging an event inside the current
+// horizon is a model bug and must be caught loudly, not reordered silently.
+func TestParallelLookaheadViolationPanics(t *testing.T) {
+	g := NewParallelGroup(1, 2, 10)
+	g.Shard(0).Schedule(5, func() {
+		// Claims a 10-cycle lookahead but schedules 2 cycles out.
+		g.Shard(0).CrossScheduleArgAtSite(g.Shard(1), SiteMisc, g.Shard(0).Now()+2, func(any) {}, nil)
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for a lookahead violation")
+		}
+	}()
+	g.Shard(0).Run()
+}
+
+// TestParallelStop: a Stop from inside a window ends the run at the next
+// barrier; the queue keeps its unexecuted events.
+func TestParallelStop(t *testing.T) {
+	g := NewParallelGroup(1, 2, 4)
+	ran := 0
+	g.Shard(1).Schedule(3, func() {
+		ran++
+		g.Shard(1).Stop()
+	})
+	g.Shard(0).Schedule(500, func() { ran++ })
+	g.Shard(0).Run()
+	if ran != 1 {
+		t.Fatalf("ran %d events, want 1 (stop should end the run)", ran)
+	}
+	if g.Shard(0).Pending() != 1 {
+		t.Fatalf("pending %d, want the far event still queued", g.Shard(0).Pending())
+	}
+}
+
+// TestGroupStats: the diagnostic snapshot reports per-shard depth and
+// barrier counts.
+func TestGroupStats(t *testing.T) {
+	g := NewParallelGroup(1, 2, 4)
+	g.Shard(0).Schedule(1, func() {})
+	g.Shard(0).Schedule(100, func() {})
+	st := g.Stats()
+	if st.Mode != Parallel || len(st.Shards) != 2 || st.Shards[0].HeapDepth != 2 {
+		t.Fatalf("pre-run stats wrong: %+v", st)
+	}
+	g.Shard(0).Run()
+	st = g.Stats()
+	if st.Barriers == 0 || st.Shards[1].BarrierWaits == 0 {
+		t.Fatalf("post-run stats wrong: %+v", st)
+	}
+
+	m := NewMergedGroup(1, 3)
+	m.Shard(2).Schedule(7, func() {})
+	m.Shard(0).Run()
+	ms := m.Stats()
+	if ms.Mode != Merged || ms.Horizon != 7 || ms.Shards[2].Now != 7 {
+		t.Fatalf("merged stats wrong: %+v", ms)
+	}
+}
