@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"fugu/internal/harness"
+	"fugu/internal/telemetry"
+)
+
+// bufferlabCmd implements `fugusim bufferlab`: run the NI buffer-economics
+// sweep — queue model × allocation policy × fault plan at equal total slots —
+// with every crucible and timeline oracle enforced. Exit status 0 means every
+// oracle passed AND at least one shared/DAMQ organization strictly beat the
+// static FIFO on overflow rate (the economics claim the lab exists to test);
+// 1 means an oracle violation or no dominance.
+func bufferlabCmd(args []string) {
+	fs := flag.NewFlagSet("bufferlab", flag.ExitOnError)
+	common := registerCommon(fs)
+	trials := fs.Int("trials", 3, "trials (seeds) per (queue, plan) pair")
+	jobs := fs.Int("j", 0, "worker-pool size for sweep points (default: GOMAXPROCS)")
+	csvDir := fs.String("csv", "", "also write the sweep as bufferlab.csv into this directory")
+	listPts := fs.Bool("list", false, "list the sweep points and exit")
+	progress := fs.Bool("progress", false, "report each completed sweep point on stderr")
+	force := fs.Bool("force", false, "overwrite existing -metrics/-timeline artifact files")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fugusim bufferlab [flags]\n")
+		fs.PrintDefaults()
+	}
+	if names := parseInterleaved(fs, args); len(names) != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	common.resolve()
+
+	opts := append(common.harnessOptions(),
+		harness.WithTrials(*trials), harness.WithParallelism(*jobs))
+	if *listPts {
+		_, pts, _, err := resolvePoint("bufferlab", -1, harness.NewOptions(opts...))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
+			os.Exit(2)
+		}
+		listPoints(os.Stdout, pts)
+		return
+	}
+
+	if err := common.vetArtifacts(*force, "bufferlab"); err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	runner := &harness.Runner{}
+	if *progress {
+		runner.Progress = func(p harness.Progress) {
+			status := "ok"
+			if p.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "%s: %d/%d %s %s\n", p.Experiment, p.Done, p.Total, p.Label, status)
+		}
+	}
+	if *common.metricsDir != "" {
+		runner.OnMetrics = writeMetrics(*common.metricsDir, "bufferlab")
+	}
+	var tls []telemetry.LabeledTimeline
+	common.timelineHook(runner, &tls)
+	exp, _ := harness.Lookup("bufferlab")
+	start := time.Now()
+	res, err := runner.Run(ctx, exp, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fugusim: bufferlab: %v\n", err)
+		os.Exit(1)
+	}
+	common.writeTimelines("bufferlab", tls)
+	res.Print(os.Stdout)
+	fmt.Printf("(bufferlab took %.1fs)\n", time.Since(start).Seconds())
+	bres := res.(harness.BufferLabResult)
+	if *csvDir != "" {
+		for file, content := range bres.CSVFiles() {
+			if err := harness.WriteCSV(*csvDir, file, content); err != nil {
+				fmt.Fprintf(os.Stderr, "fugusim: csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	failed := false
+	if problems := bres.Problems(); len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "fugusim: bufferlab: %d oracle violation(s)\n", len(problems))
+		failed = true
+	}
+	if _, _, _, ok := bres.Dominance(); !ok {
+		fmt.Fprintln(os.Stderr, "fugusim: bufferlab: no shared queue organization dominated the static FIFO on overflow rate")
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

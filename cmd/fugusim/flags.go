@@ -10,6 +10,7 @@ import (
 	"fugu/internal/delivery"
 	"fugu/internal/glaze"
 	"fugu/internal/harness"
+	"fugu/internal/niq"
 	"fugu/internal/telemetry"
 )
 
@@ -24,6 +25,7 @@ type commonFlags struct {
 	seed       *uint64
 	metricsDir *string
 	policyName *string
+	niqSpec    *string
 
 	// Timeline telemetry: -timeline enables the flight recorder on every
 	// point machine and names the export directory; the companion flags
@@ -39,6 +41,9 @@ type commonFlags struct {
 	// policy is the resolved delivery policy, nil when -policy was not given
 	// (the machine default, delivery.TwoCase, then applies).
 	policy delivery.Policy
+	// queue is the resolved input-queue spec, zero when -niq was not given
+	// (the machine default, the static FIFO, then applies).
+	queue niq.Spec
 }
 
 // registerCommon installs the shared flag block on fs.
@@ -56,6 +61,9 @@ func registerCommon(fs *flag.FlagSet) *commonFlags {
 		fmt.Sprintf("flight-recorder ring capacity in intervals (default %d)", telemetry.DefaultCap))
 	c.policyName = fs.String("policy", "",
 		fmt.Sprintf("delivery policy, one of %v (default: twocase)", delivery.Names()))
+	c.niqSpec = fs.String("niq", "",
+		fmt.Sprintf("NI input-queue model[:policy[:slots]], models %v, policies %v (default: fifo)",
+			niq.Models(), niq.Policies()))
 	c.parts = fs.Int("parts", 1,
 		"partition the event engine across this many shards (results are byte-identical at any value)")
 	return c
@@ -77,6 +85,14 @@ func (c *commonFlags) resolve() {
 		}
 		c.policy = pol
 	}
+	if *c.niqSpec != "" {
+		spec, err := niq.ParseSpec(*c.niqSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fugusim: %v\n", err)
+			os.Exit(2)
+		}
+		c.queue = spec
+	}
 	if *c.parts < 1 {
 		fmt.Fprintln(os.Stderr, "fugusim: -parts must be at least 1")
 		os.Exit(2)
@@ -95,6 +111,9 @@ func (c *commonFlags) harnessOptions() []harness.Option {
 	}
 	if c.policy != nil {
 		opts = append(opts, harness.WithDeliveryPolicy(c.policy))
+	}
+	if c.queue.Model != "" {
+		opts = append(opts, harness.WithInputQueue(c.queue))
 	}
 	if tc := c.telemetryConfig(); tc.Enabled() {
 		opts = append(opts, harness.WithTelemetry(tc))
@@ -183,13 +202,16 @@ func (c *commonFlags) vetArtifacts(force bool, names ...string) error {
 // per-machine timelines independent.
 func (c *commonFlags) configMut() func(*glaze.Config) {
 	tc := c.telemetryConfig()
-	if c.policy == nil && !tc.Enabled() && *c.parts <= 1 {
+	if c.policy == nil && c.queue.Model == "" && !tc.Enabled() && *c.parts <= 1 {
 		return nil
 	}
-	pol, parts := c.policy, *c.parts
+	pol, queue, parts := c.policy, c.queue, *c.parts
 	return func(cfg *glaze.Config) {
 		if pol != nil {
 			cfg.Delivery = pol
+		}
+		if queue.Model != "" {
+			cfg.NIConfig.Queue = queue
 		}
 		if tc.Enabled() {
 			cfg.Telemetry = telemetry.NewRecorder(tc)

@@ -10,6 +10,7 @@
 //	fugusim doctor [flags] <experiment>
 //	fugusim explain [flags] <experiment>
 //	fugusim crucible [flags]
+//	fugusim bufferlab [flags]
 //	fugusim watch [flags] <experiment>
 //
 // Experiments are discovered from the harness registry (`fugusim list`
@@ -34,7 +35,11 @@
 // schedule site (with `-folded` emitting flamegraph input). `crucible` runs
 // the deterministic fault-injection sweep — every named fault plan across
 // -trials seeds — and fails unless every delivery oracle passes and every
-// second-case cause was forced at least once. `watch` replays one sweep
+// second-case cause was forced at least once. `bufferlab` runs the NI
+// buffer-economics sweep — queue model × allocation policy × fault plan at
+// equal total slots (`-niq` selects a queue organization on any other
+// subcommand) — and fails unless every oracle passes and a shared
+// organization beats the static FIFO on overflow rate. `watch` replays one sweep
 // point serially with interval sampling enabled and streams a live
 // terminal dashboard (fast/buffered deliveries, queue depths, pinned
 // pages, NACKs, per-node mode glyphs) as simulated time advances.
@@ -86,6 +91,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  fugusim doctor [flags] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "  fugusim explain [flags] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "  fugusim crucible [flags]\n")
+		fmt.Fprintf(os.Stderr, "  fugusim bufferlab [flags]\n")
 		fmt.Fprintf(os.Stderr, "  fugusim watch [flags] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", harness.Names())
 		flag.PrintDefaults()
@@ -115,6 +121,9 @@ func main() {
 		return
 	case "crucible":
 		crucibleCmd(flag.Args()[1:])
+		return
+	case "bufferlab":
+		bufferlabCmd(flag.Args()[1:])
 		return
 	case "watch":
 		watchCmd(flag.Args()[1:])

@@ -4,6 +4,7 @@ import (
 	"fugu/internal/delivery"
 	"fugu/internal/faultinject"
 	"fugu/internal/nic"
+	"fugu/internal/niq"
 	"fugu/internal/sim"
 	"fugu/internal/spans"
 	"fugu/internal/telemetry"
@@ -77,6 +78,20 @@ func WithNIConfig(opts ...nic.ConfigOption) ConfigOption {
 			o(&c.NIConfig)
 		}
 	}
+}
+
+// WithInputQueue selects every NI's input-queue organization (model,
+// allocation policy, slot count; see niq.Spec). The zero spec — and the
+// default — is the static FIFO, bit-identical to the original hardware.
+func WithInputQueue(spec niq.Spec) ConfigOption {
+	return func(c *Config) { c.NIConfig.Queue = spec }
+}
+
+// WithQueueAudit checks every NI's input-queue invariants after each queue
+// mutation (see nic.Config.QueueAudit). Test-only: property tests use it to
+// fail at the exact event that violates a reserve guarantee.
+func WithQueueAudit() ConfigOption {
+	return func(c *Config) { c.NIConfig.QueueAudit = true }
 }
 
 // WithDeliveryPolicy selects the receive-side delivery policy. Nil (and the

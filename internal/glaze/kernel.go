@@ -622,7 +622,8 @@ func (k *Kernel) checkOverflow(t *cpu.Task, p *Process) {
 	k.m.Trace.Add(k.m.Eng.Now(), k.node, trace.Overflow, "trip %s: %d/%d frames",
 		p.job.name, k.frames.InUse(), k.frames.Total())
 	p.job.overflowed = true
-	k.broadcastOS(osOpSuspendJob, uint64(p.gid))
+	p.job.overflowSeq++
+	k.broadcastOS(osOpSuspendJob, uint64(p.gid)|p.job.overflowSeq<<16)
 	if k.m.Gang != nil {
 		k.m.Gang.Prefer(p.job)
 	}
@@ -637,9 +638,10 @@ func (k *Kernel) maybeLiftOverflow(p *Process) {
 		return
 	}
 	p.job.overflowed = false
+	p.job.overflowSeq++
 	k.mOverflowReleases.Inc()
 	k.m.Trace.Add(k.m.Eng.Now(), k.node, trace.Overflow, "release %s", p.job.name)
-	k.broadcastOS(osOpResumeJob, uint64(p.gid))
+	k.broadcastOS(osOpResumeJob, uint64(p.gid)|p.job.overflowSeq<<16)
 	if k.m.Gang != nil {
 		k.m.Gang.Unprefer(p.job)
 	}
@@ -685,10 +687,24 @@ func (k *Kernel) osISR(t *cpu.Task) {
 		return
 	}
 	switch op {
-	case osOpSuspendJob:
-		p.throttled = true
-	case osOpResumeJob:
-		p.throttled = false
-		p.throttleW.WakeAll()
+	case osOpSuspendJob, osOpResumeJob:
+		// Suspends and resumes race: different nodes trip and lift overflow
+		// control independently, and the OS mesh only orders packets from
+		// the same sender. The low 16 bits of arg carry the GID; the rest
+		// is the job-wide broadcast sequence, and a stale op — one issued
+		// before an op already applied here — is discarded, or a late
+		// suspend would out-live the final resume and throttle the process
+		// forever.
+		seq := arg >> 16
+		if seq <= p.overflowSeen {
+			return
+		}
+		p.overflowSeen = seq
+		if op == osOpSuspendJob {
+			p.throttled = true
+		} else {
+			p.throttled = false
+			p.throttleW.WakeAll()
+		}
 	}
 }

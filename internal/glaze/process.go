@@ -54,8 +54,11 @@ type Process struct {
 	store delivery.Store
 
 	// Overflow control: while throttled, the process's sends stall.
-	throttled bool
-	throttleW *cpu.WaitQ
+	// overflowSeen is the highest suspend/resume sequence applied here;
+	// older broadcasts still in flight are discarded as stale.
+	throttled    bool
+	overflowSeen uint64
+	throttleW    *cpu.WaitQ
 
 	// Statistics.
 	Deliv           stats.Delivery
@@ -384,8 +387,12 @@ type Job struct {
 	Tag any
 
 	// Overflow control state (global, mirrors the paper's scheduler
-	// server view of the job).
-	overflowed bool
+	// server view of the job). overflowSeq orders the suspend/resume
+	// broadcasts: trips on different nodes race on the OS network, and a
+	// stale suspend landing after the final resume would otherwise leave a
+	// process throttled forever (see Kernel.osISR).
+	overflowed  bool
+	overflowSeq uint64
 }
 
 // Name returns the job's name.

@@ -343,6 +343,34 @@ func crucibleExperiment() *Experiment {
 // crucibleHandler is the workload's handler id.
 const crucibleHandler = 7
 
+// crucibleLoad shapes the workload's traffic pattern. The crucible default
+// ({burst: 1}) is the smooth round-robin all-to-all the golden hashes pin;
+// the buffer lab cranks burst up and turns converge on to reproduce the
+// hot-spot offered load of the DAMQ literature: every node fires a
+// back-to-back burst at the same rotating destination, so one NI's input
+// queue sees the whole machine's burst at once while the rest sit idle.
+type crucibleLoad struct {
+	// burst is how many sends go back-to-back before each inter-send gap;
+	// 1 restores the original smooth pacing.
+	burst int
+	// converge points every sender's burst at one shared destination that
+	// rotates per burst round (senders skip themselves by aiming at their
+	// clockwise neighbor), instead of per-sender round-robin.
+	converge bool
+}
+
+// dst picks message i's destination for sender n under this load shape.
+func (l crucibleLoad) dst(n, i, nodes int) int {
+	if l.converge {
+		d := (i / l.burst) % nodes
+		if d == n {
+			d = (d + 1) % nodes
+		}
+		return d
+	}
+	return (n + 1 + i%(nodes-1)) % nodes
+}
+
 // runCrucible executes one (plan, trial) run and checks the delivery
 // oracles. The workload is a deterministic all-to-all: every node sends S
 // tagged messages round-robin to the other nodes, interleaving data-page
@@ -351,6 +379,12 @@ const crucibleHandler = 7
 // lost; the oracles sharpen that to exactly-once, fully-drained and
 // span-reconciled.
 func runCrucible(pl cruciblePlan, trial int, opt Options) cruciblePoint {
+	return runCrucibleLoad(pl, trial, opt, crucibleLoad{burst: 1})
+}
+
+// runCrucibleLoad is runCrucible under an explicit load shape; with the
+// default load the event stream is bit-identical to the original workload.
+func runCrucibleLoad(pl cruciblePlan, trial int, opt Options, load crucibleLoad) cruciblePoint {
 	sends := 400
 	if opt.Quick {
 		sends = 80
@@ -401,7 +435,7 @@ func runCrucible(pl cruciblePlan, trial int, opt Options) cruciblePoint {
 	expected := make([]uint64, nodes)
 	for src := 0; src < nodes; src++ {
 		for i := 0; i < sends; i++ {
-			expected[(src+1+i%(nodes-1))%nodes]++
+			expected[load.dst(src, i, nodes)]++
 		}
 	}
 	// seen[src*sends+i] counts deliveries of message (src, i): the
@@ -427,7 +461,7 @@ func runCrucible(pl cruciblePlan, trial int, opt Options) cruciblePoint {
 				e.Touch(uint64(pg) * vm.PageWords)
 			}
 			for i := 0; i < sends; i++ {
-				dst := (n + 1 + i%(nodes-1)) % nodes
+				dst := load.dst(n, i, nodes)
 				e.Inject(dst, crucibleHandler, uint64(n), uint64(i))
 				if i%8 == 3 {
 					e.Touch(uint64(i%preTouchPages) * vm.PageWords)
@@ -437,7 +471,9 @@ func runCrucible(pl cruciblePlan, trial int, opt Options) cruciblePoint {
 					e.Poll()
 					e.EndAtomic()
 				}
-				e.Spend(uint64(120 + (i*7+n*13)%240))
+				if (i+1)%load.burst == 0 {
+					e.Spend(uint64(120 + (i*7+n*13)%240))
+				}
 			}
 			recv[n].WaitFor(tk, expected[n])
 		})

@@ -73,6 +73,7 @@ func init() {
 	register(crlStressExperiment())
 	register(crucibleExperiment())
 	register(policyLabExperiment())
+	register(bufferLabExperiment())
 }
 
 // Experiments returns every registered experiment in registration order.

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"fugu/internal/delivery"
+	"fugu/internal/niq"
 )
 
 // Golden SHA-256 hashes of every CSV the experiments emit at the canonical
@@ -103,6 +104,39 @@ func TestGoldenExplicitTwoCase(t *testing.T) {
 				t.Errorf("%s with explicit TwoCase: %s hash = %s, want golden %s "+
 					"(selecting the default policy must be bit-identical to not selecting one)",
 					name, file, got, wantHash)
+			}
+		}
+	}
+}
+
+// TestGoldenExplicitFIFO pins the InputQueue seam the same way: selecting
+// niq's static FIFO explicitly must be byte-identical to the machine
+// default (zero spec), serial and at 2 and 4 engine partitions. The seam
+// moved the receive queue behind an interface; this is the proof the
+// default organization neither costs, draws nor reorders anything on the
+// way — at any partition count.
+func TestGoldenExplicitFIFO(t *testing.T) {
+	for _, name := range []string{"table4", "fig9"} {
+		want := goldenFast[name]
+		exp, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("experiment %q not registered", name)
+		}
+		for _, parts := range []int{1, 2, 4} {
+			res, err := (&Runner{}).Run(context.Background(), exp,
+				WithQuick(), WithTrials(1), WithSeed(1), WithParallelism(1),
+				WithInputQueue(niq.Spec{Model: niq.ModelFIFO}), WithPartitions(parts))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			files := res.(CSVer).CSVFiles()
+			for file, wantHash := range want {
+				sum := sha256.Sum256([]byte(files[file]))
+				if got := hex.EncodeToString(sum[:]); got != wantHash {
+					t.Errorf("%s with explicit fifo queue at %d partition(s): %s hash = %s, want golden %s "+
+						"(selecting the default queue organization must be bit-identical to not selecting one)",
+						name, parts, file, got, wantHash)
+				}
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"fugu/internal/delivery"
 	"fugu/internal/faultinject"
 	"fugu/internal/glaze"
+	"fugu/internal/niq"
 	"fugu/internal/sim"
 	"fugu/internal/spans"
 	"fugu/internal/telemetry"
@@ -45,6 +46,15 @@ type Options struct {
 	// machine. Nil leaves the machine default (delivery.TwoCase), keeping
 	// default runs bit-identical.
 	Policy delivery.Policy
+	// Queue, when its Model is non-empty, selects every NI's input-queue
+	// organization (see niq.Spec). The zero value leaves the machine
+	// default (static FIFO), keeping default runs bit-identical.
+	Queue niq.Spec
+	// QueueAudit re-checks every NI input queue's structural invariants
+	// after each queue mutation (see nic.Config.QueueAudit). Property
+	// tests enable it; it changes no simulated behaviour, only walks the
+	// structure and panics on the first violation.
+	QueueAudit bool
 	// Telemetry, when enabled (Every > 0), attaches a fresh flight
 	// recorder to every point machine — each machine gets its own, so
 	// parallel sweeps stay deterministic and race-free, and the per-point
@@ -114,6 +124,18 @@ func WithDeliveryPolicy(p delivery.Policy) Option {
 	return optionFunc(func(o *Options) { o.Policy = p })
 }
 
+// WithInputQueue selects the NI input-queue organization on every point
+// machine (see Options.Queue).
+func WithInputQueue(spec niq.Spec) Option {
+	return optionFunc(func(o *Options) { o.Queue = spec })
+}
+
+// WithQueueAudit enables per-mutation input-queue invariant checking on
+// every point machine (see Options.QueueAudit).
+func WithQueueAudit() Option {
+	return optionFunc(func(o *Options) { o.QueueAudit = true })
+}
+
 // WithTelemetry enables the flight recorder on every point machine (see
 // Options.Telemetry).
 func WithTelemetry(cfg telemetry.Config) Option {
@@ -169,8 +191,8 @@ func (o Options) trials() int { return max(1, o.Trials) }
 // accepted, so options reach every machine without widening run signatures.
 func (o Options) machineMut(extra func(*glaze.Config)) func(*glaze.Config) {
 	if o.Trace == nil && o.Spans == nil && !o.Watchdog.Enabled() && o.Faults == nil &&
-		o.Policy == nil && !o.Telemetry.Enabled() && o.Profiler == nil &&
-		o.Partitions <= 1 && extra == nil {
+		o.Policy == nil && o.Queue.Model == "" && !o.QueueAudit && !o.Telemetry.Enabled() &&
+		o.Profiler == nil && o.Partitions <= 1 && extra == nil {
 		return nil
 	}
 	return func(cfg *glaze.Config) {
@@ -188,6 +210,12 @@ func (o Options) machineMut(extra func(*glaze.Config)) func(*glaze.Config) {
 		}
 		if o.Policy != nil {
 			cfg.Delivery = o.Policy
+		}
+		if o.Queue.Model != "" {
+			cfg.NIConfig.Queue = o.Queue
+		}
+		if o.QueueAudit {
+			cfg.NIConfig.QueueAudit = true
 		}
 		if o.Telemetry.Enabled() {
 			// A fresh recorder per machine: recorders are unsynchronized

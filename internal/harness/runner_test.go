@@ -169,7 +169,7 @@ func TestRunnerProgressCallback(t *testing.T) {
 }
 
 func TestRegistryNamesAndLookup(t *testing.T) {
-	want := []string{"table4", "table5", "table6", "fig7and8", "fig9", "fig10", "crlstress", "crucible", "policylab"}
+	want := []string{"table4", "table5", "table6", "fig7and8", "fig9", "fig10", "crlstress", "crucible", "policylab", "bufferlab"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Errorf("Names() = %v, want %v", got, want)
 	}

@@ -7,6 +7,7 @@ import (
 	"fugu/internal/faultinject"
 	"fugu/internal/mesh"
 	"fugu/internal/metrics"
+	"fugu/internal/niq"
 	"fugu/internal/sim"
 	"fugu/internal/spans"
 )
@@ -76,6 +77,15 @@ type Config struct {
 	OutputWords     int    // send descriptor buffer capacity (16 in FUGU)
 	TimerPreset     uint64 // atomicity-timeout preset value
 	DrainPerWord    uint64 // cycles per word to drain the output buffer
+	// Queue selects the input-queue organization (see internal/niq). The
+	// zero value is the original static FIFO at InputQueueDepth slots,
+	// bit-identical to the pre-seam hardware.
+	Queue niq.Spec
+	// QueueAudit walks the queue's structural invariants (reserve
+	// guarantees, borrow accounting, list integrity) after every push and
+	// pop, panicking on the first violation. Test-only: it consumes no
+	// simulated time but is O(slots) real work per message.
+	QueueAudit bool
 }
 
 // ConfigOption mutates a Config under construction.
@@ -83,6 +93,15 @@ type ConfigOption func(*Config)
 
 // WithInputQueueDepth sets the receive-queue capacity in messages.
 func WithInputQueueDepth(n int) ConfigOption { return func(c *Config) { c.InputQueueDepth = n } }
+
+// WithQueue selects the input-queue organization (model, allocation policy
+// and optionally an explicit slot count; see niq.Spec).
+func WithQueue(spec niq.Spec) ConfigOption { return func(c *Config) { c.Queue = spec } }
+
+// WithQueueAudit checks the input queue's structural invariants after every
+// mutation (see Config.QueueAudit). Property tests use it to catch a
+// reserve violation at the moment it happens rather than after the run.
+func WithQueueAudit() ConfigOption { return func(c *Config) { c.QueueAudit = true } }
 
 // WithOutputWords sets the send descriptor buffer capacity in words.
 func WithOutputWords(n int) ConfigOption { return func(c *Config) { c.OutputWords = n } }
@@ -133,9 +152,14 @@ type NI struct {
 	cfg  Config
 	intr Interrupts
 
-	// Receive side.
-	in           []*mesh.Packet
-	headSignaled bool
+	// Receive side. q is the input-queue organization (static FIFO unless
+	// Config.Queue says otherwise); signaled is the packet the last raised
+	// interrupt (message-available or mismatch-available) was for, so a
+	// head that has not changed is never signaled twice. It is cleared
+	// whenever its referent leaves the queue or the routing state (GID,
+	// divert) changes, so it can never alias a recycled pool packet.
+	q        niq.InputQueue
+	signaled *mesh.Packet
 
 	// Send side.
 	out         []uint64
@@ -209,6 +233,9 @@ func (ni *NI) UseMetrics(r *metrics.Registry) {
 	ni.mDisposed = r.Counter("nic.disposed")
 	ni.mKDisposed = r.Counter("nic.kdisposed")
 	ni.mQueueLen = r.Gauge("nic.queue_len")
+	// The queue registers its own instruments; the default FIFO registers
+	// none, keeping the default policy's metric key set exact.
+	ni.q.UseMetrics(r)
 	ni.bindOffloadMetrics()
 }
 
@@ -236,6 +263,21 @@ func (ni *NI) bindOffloadMetrics() {
 // main logical network.
 func New(eng *sim.Engine, net *mesh.Net, node int, cfg Config) *NI {
 	ni := &NI{eng: eng, net: net, node: node, cfg: cfg}
+	ni.q = niq.New(cfg.Queue, cfg.InputQueueDepth, net.Nodes())
+	// The presentation predicates read the NI's live routing state, so the
+	// queue's head tracks GID and divert changes without re-binding. A
+	// multi-queue model uses them to keep the fast path alive when the
+	// globally oldest packet is mismatched; the FIFO ignores them.
+	ni.q.Bind(
+		func(pkt *mesh.Packet) bool {
+			if ni.divert || pkt.FaultMismatch {
+				return false
+			}
+			h := pkt.Words[0]
+			return !HeaderIsKernel(h) && HeaderGID(h) == ni.gid
+		},
+		func(pkt *mesh.Packet) bool { return HeaderIsKernel(pkt.Words[0]) },
+	)
 	ni.spaceWait = sim.NewCond(eng)
 	ni.drainFn = func() { ni.spaceWait.Broadcast() }
 	ni.timer.init(eng, cfg.TimerPreset, ni)
@@ -260,9 +302,12 @@ func (ni *NI) AttachCPU(c *cpu.CPU) { c.AddRunListener(&ni.timer) }
 // Receive side
 
 // Arrive implements mesh.Endpoint: the network offers the next in-order
-// packet; a full input queue refuses it (backpressure into the network).
+// packet; a queue that cannot admit it refuses (backpressure into the
+// network). Admission is the queue model's policy check — the static FIFO
+// refuses only when full, the shared models also enforce per-source caps
+// and reserve guarantees.
 func (ni *NI) Arrive(pkt *mesh.Packet) bool {
-	if len(ni.in) >= ni.cfg.InputQueueDepth {
+	if !ni.q.Admit(pkt.Src, HeaderIsKernel(pkt.Words[0])) {
 		ni.refused++
 		ni.mRefused.Inc()
 		return false
@@ -277,11 +322,9 @@ func (ni *NI) Arrive(pkt *mesh.Packet) bool {
 	ni.arrived++
 	ni.mArrived.Inc()
 	ni.rec.Queued(ni.eng.Now(), pkt.ID, ni.node)
-	ni.in = append(ni.in, pkt)
-	ni.mQueueLen.Set(int64(len(ni.in)))
-	if len(ni.in) == 1 {
-		ni.headSignaled = false
-	}
+	ni.q.Push(pkt)
+	ni.audit()
+	ni.mQueueLen.Set(int64(ni.q.Len()))
 	if ni.inj != nil && !HeaderIsKernel(pkt.Words[0]) {
 		if !pkt.FaultMismatch && ni.inj.ForceMismatch(ni.node) {
 			pkt.FaultMismatch = true
@@ -303,13 +346,14 @@ func (ni *NI) MessageAvailable() bool {
 	return ni.headMatches()
 }
 
-// headMatches reports whether the head message belongs to the current user.
+// headMatches reports whether the presented head message belongs to the
+// current user.
 func (ni *NI) headMatches() bool {
-	if ni.divert || len(ni.in) == 0 {
+	if ni.divert {
 		return false
 	}
-	pkt := ni.in[0]
-	if pkt.FaultMismatch {
+	pkt := ni.q.Head()
+	if pkt == nil || pkt.FaultMismatch {
 		return false
 	}
 	h := pkt.Words[0]
@@ -318,33 +362,33 @@ func (ni *NI) headMatches() bool {
 
 // HeadLen returns the length in words of the head message, or 0 if none.
 func (ni *NI) HeadLen() int {
-	if len(ni.in) == 0 {
+	pkt := ni.q.Head()
+	if pkt == nil {
 		return 0
 	}
-	return len(ni.in[0].Words)
+	return len(pkt.Words)
 }
 
 // ReadWord returns word i of the head message (the input message window).
 // Reading with no message present returns 0, as reading garbage registers
 // would; protected software never does this.
 func (ni *NI) ReadWord(i int) uint64 {
-	if len(ni.in) == 0 || i >= len(ni.in[0].Words) {
+	pkt := ni.q.Head()
+	if pkt == nil || i >= len(pkt.Words) {
 		return 0
 	}
-	return ni.in[0].Words[i]
+	return pkt.Words[i]
 }
 
 // HeadPacket exposes the head packet to kernel software (the
 // mismatch-available handler demultiplexes from it). Returns nil if empty.
-func (ni *NI) HeadPacket() *mesh.Packet {
-	if len(ni.in) == 0 {
-		return nil
-	}
-	return ni.in[0]
-}
+func (ni *NI) HeadPacket() *mesh.Packet { return ni.q.Head() }
 
 // QueueLen reports how many messages sit in the input queue.
-func (ni *NI) QueueLen() int { return len(ni.in) }
+func (ni *NI) QueueLen() int { return ni.q.Len() }
+
+// Queue exposes the input-queue organization for tests and diagnostics.
+func (ni *NI) Queue() niq.InputQueue { return ni.q }
 
 // Dispose implements the user dispose operation of Table 1: under divert it
 // traps dispose-extend so the OS can emulate disposal from the software
@@ -360,7 +404,7 @@ func (ni *NI) Dispose() Trap {
 	}
 	ni.disposed++
 	ni.mDisposed.Inc()
-	pkt := ni.in[0]
+	pkt := ni.q.Head()
 	ni.rec.End(ni.eng.Now(), pkt.ID, ni.node, spans.TermFast)
 	ni.popHead()
 	ni.uac &^= UACDisposePending
@@ -376,7 +420,7 @@ func (ni *NI) Dispose() Trap {
 // KDispose removes the head message with kernel privilege (the buffered-path
 // insertion handler uses it after copying the message to memory).
 func (ni *NI) KDispose() {
-	if len(ni.in) == 0 {
+	if ni.q.Len() == 0 {
 		panic("nic: KDispose with empty queue")
 	}
 	ni.kdisposed++
@@ -385,29 +429,46 @@ func (ni *NI) KDispose() {
 	ni.evaluate()
 }
 
+// popHead removes the presented head (selection is pure, so this is the
+// packet Head just returned) and re-offers backpressured traffic.
 func (ni *NI) popHead() {
-	copy(ni.in, ni.in[1:])
-	ni.in[len(ni.in)-1] = nil
-	ni.in = ni.in[:len(ni.in)-1]
-	ni.mQueueLen.Set(int64(len(ni.in)))
-	ni.headSignaled = false
+	ni.q.PopHead()
+	ni.audit()
+	ni.mQueueLen.Set(int64(ni.q.Len()))
+	ni.signaled = nil
 	ni.net.NotifySpace(ni.node, mesh.Main)
+}
+
+// audit enforces Config.QueueAudit: every queue mutation must leave the
+// structure satisfying all its invariants, reserve guarantees included.
+func (ni *NI) audit() {
+	if !ni.cfg.QueueAudit {
+		return
+	}
+	if err := ni.q.CheckInvariants(); err != nil {
+		panic(fmt.Sprintf("nic: node %d input-queue invariant violated: %v", ni.node, err))
+	}
 }
 
 // evaluate recomputes the interrupt lines after any state change: arrival,
 // disposal, UAC write, or a kernel change to GID/divert. At most one
-// interrupt is raised per head message per routing decision.
+// interrupt is raised per presented head per routing decision: the signaled
+// pointer tracks which packet the last interrupt was for, so an unchanged
+// head is never re-signaled, while a multi-queue model changing its
+// presented head (a matching packet arriving behind a mismatched front)
+// raises the interrupt the new head deserves.
 func (ni *NI) evaluate() {
 	defer ni.timer.update()
 	if ni.off != nil {
 		ni.demuxLoop()
 	}
-	if len(ni.in) == 0 {
+	head := ni.q.Head()
+	if head == nil {
 		return
 	}
 	if ni.headMatches() {
-		if ni.uac&UACInterruptDisable == 0 && !ni.headSignaled {
-			ni.headSignaled = true
+		if ni.uac&UACInterruptDisable == 0 && head != ni.signaled {
+			ni.signaled = head
 			if ni.intr.MessageAvailable != nil {
 				ni.intr.MessageAvailable()
 			}
@@ -415,8 +476,8 @@ func (ni *NI) evaluate() {
 		return
 	}
 	// Mismatched GID, kernel message, or divert mode: kernel interrupt.
-	if !ni.headSignaled {
-		ni.headSignaled = true
+	if head != ni.signaled {
+		ni.signaled = head
 		if ni.intr.MismatchAvailable != nil {
 			ni.intr.MismatchAvailable()
 		}
@@ -435,8 +496,8 @@ func (ni *NI) demuxLoop() {
 		return
 	}
 	ni.demuxing = true
-	for len(ni.in) > 0 {
-		pkt := ni.in[0]
+	for ni.q.Len() > 0 {
+		pkt := ni.q.Head()
 		if HeaderIsKernel(pkt.Words[0]) {
 			break
 		}
@@ -618,7 +679,7 @@ func (ni *NI) GID() GID { return ni.gid }
 // SetGID installs the scheduled application's GID (kernel, context switch).
 func (ni *NI) SetGID(g GID) {
 	ni.gid = g
-	ni.headSignaled = false
+	ni.signaled = nil
 	ni.evaluate()
 }
 
@@ -632,7 +693,7 @@ func (ni *NI) SetDivert(on bool) {
 		return
 	}
 	ni.divert = on
-	ni.headSignaled = false
+	ni.signaled = nil
 	ni.evaluate()
 }
 

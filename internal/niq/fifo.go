@@ -1,0 +1,70 @@
+package niq
+
+import (
+	"fmt"
+
+	"fugu/internal/mesh"
+	"fugu/internal/metrics"
+)
+
+// fifo is the seed hardware: one statically-provisioned queue drained in
+// strict arrival order. It ignores the presentation predicates and registers
+// no instruments, so a machine built on it is bit-identical — events, rng
+// draws and metric key sets — to the pre-seam NI (the golden tests pin this).
+type fifo struct {
+	spec Spec
+	in   []*mesh.Packet
+}
+
+func newFIFO(spec Spec) *fifo {
+	return &fifo{spec: spec}
+}
+
+func (q *fifo) Spec() Spec { return q.spec }
+func (q *fifo) Slots() int { return q.spec.Slots }
+func (q *fifo) Len() int   { return len(q.in) }
+
+func (q *fifo) Bind(match, kernel func(*mesh.Packet) bool) {}
+func (q *fifo) UseMetrics(r *metrics.Registry)             {}
+
+func (q *fifo) Admit(src int, sys bool) bool { return len(q.in) < q.spec.Slots }
+
+func (q *fifo) Push(pkt *mesh.Packet) {
+	if len(q.in) >= q.spec.Slots {
+		panic(fmt.Sprintf("niq: fifo push past %d slots", q.spec.Slots))
+	}
+	q.in = append(q.in, pkt)
+}
+
+func (q *fifo) Head() *mesh.Packet {
+	if len(q.in) == 0 {
+		return nil
+	}
+	return q.in[0]
+}
+
+func (q *fifo) PopHead() *mesh.Packet {
+	if len(q.in) == 0 {
+		return nil
+	}
+	pkt := q.in[0]
+	copy(q.in, q.in[1:])
+	q.in[len(q.in)-1] = nil
+	q.in = q.in[:len(q.in)-1]
+	return pkt
+}
+
+func (q *fifo) Steals() uint64   { return 0 }
+func (q *fifo) Bypasses() uint64 { return 0 }
+
+func (q *fifo) CheckInvariants() error {
+	if len(q.in) > q.spec.Slots {
+		return fmt.Errorf("fifo holds %d messages in %d slots", len(q.in), q.spec.Slots)
+	}
+	for i, p := range q.in {
+		if p == nil {
+			return fmt.Errorf("fifo slot %d holds a nil packet", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package niq
+
+import (
+	"fugu/internal/mesh"
+)
+
+// refQueue is the differential-testing reference: the same admission,
+// reserve and presentation rules as the real implementations, written with
+// the dumbest possible data structures — one slice per source, O(n) scans,
+// every derived quantity recomputed from scratch on demand. Anything the
+// linked-slot-pool implementation gets wrong shows up as a disagreement
+// with this model under randomized schedules.
+type refQueue struct {
+	spec       Spec
+	reserve    int
+	borrowable int
+	guaranteed bool
+	fifo       bool
+
+	lists    [][]refEntry
+	seq      uint64
+	bypassed int
+
+	match  func(*mesh.Packet) bool
+	kernel func(*mesh.Packet) bool
+}
+
+type refEntry struct {
+	pkt *mesh.Packet
+	seq uint64
+	sys bool
+}
+
+func newRef(spec Spec, sources int) *refQueue {
+	spec = spec.Normalize()
+	if sources <= 0 {
+		sources = 1
+	}
+	q := &refQueue{
+		spec:       spec,
+		guaranteed: spec.Model == ModelReserve,
+		fifo:       spec.Model == ModelFIFO,
+		lists:      make([][]refEntry, sources),
+	}
+	q.reserve, q.borrowable = Reserve(spec.Policy, spec.Slots, sources)
+	return q
+}
+
+func (q *refQueue) bind(match, kernel func(*mesh.Packet) bool) {
+	q.match, q.kernel = match, kernel
+}
+
+func (q *refQueue) lenAll() int {
+	n := 0
+	for _, l := range q.lists {
+		n += len(l)
+	}
+	return n
+}
+
+// ulen recomputes the user-packet count of one source list.
+func (q *refQueue) ulen(src int) int {
+	n := 0
+	for _, e := range q.lists[src] {
+		if !e.sys {
+			n++
+		}
+	}
+	return n
+}
+
+// borrowed recomputes the user slots in use beyond their owners' reserves.
+func (q *refQueue) borrowed() int {
+	b := 0
+	for s := range q.lists {
+		if u := q.ulen(s); u > q.reserve {
+			b += u - q.reserve
+		}
+	}
+	return b
+}
+
+func (q *refQueue) admit(src int, sys bool) bool {
+	if src < 0 || src >= len(q.lists) {
+		return false
+	}
+	total := q.lenAll()
+	if q.fifo {
+		return total < q.spec.Slots
+	}
+	if sys {
+		return total < q.spec.Slots
+	}
+	if q.guaranteed {
+		return total < q.spec.Slots &&
+			(q.ulen(src) < q.reserve || q.borrowed() < q.borrowable)
+	}
+	return total < q.spec.Slots && q.ulen(src) < q.reserve+q.borrowable
+}
+
+func (q *refQueue) push(pkt *mesh.Packet) {
+	sys := !q.fifo && q.kernel != nil && q.kernel(pkt)
+	q.lists[pkt.Src] = append(q.lists[pkt.Src], refEntry{pkt: pkt, seq: q.seq, sys: sys})
+	q.seq++
+}
+
+// sel mirrors shared.sel: the oldest matching list head, bounded by the
+// never-bypass-kernel rule and the bypass budget; the FIFO always presents
+// the globally oldest.
+func (q *refQueue) sel() (choice, oldest int) {
+	choice, oldest = -1, -1
+	var bestSeq, oldSeq uint64
+	for s, l := range q.lists {
+		if len(l) == 0 {
+			continue
+		}
+		e := l[0]
+		if oldest < 0 || e.seq < oldSeq {
+			oldest, oldSeq = s, e.seq
+		}
+		if !q.fifo && q.match != nil && q.match(e.pkt) && (choice < 0 || e.seq < bestSeq) {
+			choice, bestSeq = s, e.seq
+		}
+	}
+	if oldest < 0 || choice < 0 || choice == oldest {
+		return oldest, oldest
+	}
+	if q.kernel != nil && q.kernel(q.lists[oldest][0].pkt) {
+		return oldest, oldest
+	}
+	if q.bypassed >= q.spec.BypassBudget {
+		return oldest, oldest
+	}
+	return choice, oldest
+}
+
+func (q *refQueue) head() *mesh.Packet {
+	choice, _ := q.sel()
+	if choice < 0 {
+		return nil
+	}
+	return q.lists[choice][0].pkt
+}
+
+func (q *refQueue) popHead() *mesh.Packet {
+	choice, oldest := q.sel()
+	if choice < 0 {
+		return nil
+	}
+	e := q.lists[choice][0]
+	q.lists[choice] = q.lists[choice][1:]
+	if choice == oldest {
+		q.bypassed = 0
+	} else {
+		q.bypassed++
+	}
+	return e.pkt
+}

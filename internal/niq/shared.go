@@ -1,0 +1,343 @@
+package niq
+
+import (
+	"fmt"
+
+	"fugu/internal/mesh"
+	"fugu/internal/metrics"
+)
+
+// shared is the slot-pool structure behind both multi-queue models: a fixed
+// array of slots threaded by a free list, with per-source FIFO lists linked
+// through it (the DAMQ organization — same SRAM as the fifo, carved
+// dynamically). The two models differ only in admission:
+//
+//   - damq: a packet is admitted while the pool has a free slot and its
+//     source list is under the policy cap R+B. Slots a source takes beyond
+//     its reserve R are stolen from the common pool — nothing stops a bursty
+//     source from starving a quiet one's future arrivals.
+//   - reserve (guaranteed=true): a packet within its source's reserve R is
+//     admitted whenever a free slot exists; beyond R it must borrow, and
+//     borrowing is refused once borrowed == B. No source's user traffic can
+//     ever occupy another source's guaranteed slots (the property tests pin
+//     exactly this). Protected kernel traffic is exempt from both caps and
+//     reserves — see Admit — so the guarantee is stated over user packets.
+//
+// Presentation: Head returns the oldest packet among the per-source list
+// heads that satisfies the bound match predicate; with none matching (or no
+// predicate bound) it returns the globally oldest. Two rules bound the
+// resulting reordering: a kernel packet at the global front is never
+// bypassed, and after BypassBudget consecutive bypasses of the same oldest
+// packet the queue reverts to strict FIFO until that packet is popped.
+// Per-source order is always preserved; cross-source reordering is exactly
+// what the mesh already permits.
+type shared struct {
+	spec       Spec
+	reserve    int  // R: per-source reserve (fair share for damq)
+	borrowable int  // B: shared region, slots - R*sources
+	guaranteed bool // reserve model: refuse borrows past B
+
+	pool []slot
+	free int   // free-list head, -1 when the pool is exhausted
+	head []int // per-source list head slot index, -1 when empty
+	tail []int
+	lens []int // total list lengths, system packets included
+	// ulens counts only user packets per list: protected kernel traffic
+	// occupies slots but is exempt from the allocation policy (see Admit),
+	// so caps, reserves and borrow accounting all read ulens, not lens.
+	ulens []int
+	// borrowed is sum over sources of max(0, ulens[s]-R): user slots in use
+	// beyond their owners' reserves, maintained incrementally on push/pop.
+	borrowed int
+	total    int
+	seq      uint64 // next arrival stamp; defines "globally oldest"
+
+	// bypassed counts consecutive pops that jumped the current globally
+	// oldest packet; reset whenever the oldest itself is popped.
+	bypassed int
+
+	match  func(*mesh.Packet) bool
+	kernel func(*mesh.Packet) bool
+
+	steals   uint64
+	bypasses uint64
+
+	mSteals *metrics.Counter
+	mBypass *metrics.Counter
+	mOcc    *metrics.Gauge
+}
+
+// slot is one SRAM buffer: a packet, its arrival stamp, whether it holds
+// protected kernel traffic, and the link to the next slot in the same
+// per-source list (or the free list).
+type slot struct {
+	pkt  *mesh.Packet
+	seq  uint64
+	sys  bool
+	next int
+}
+
+func newShared(spec Spec, sources int) *shared {
+	if sources <= 0 {
+		sources = 1
+	}
+	q := &shared{
+		spec:       spec,
+		guaranteed: spec.Model == ModelReserve,
+		pool:       make([]slot, spec.Slots),
+		head:       make([]int, sources),
+		tail:       make([]int, sources),
+		lens:       make([]int, sources),
+		ulens:      make([]int, sources),
+	}
+	q.reserve, q.borrowable = Reserve(spec.Policy, spec.Slots, sources)
+	for i := range q.pool {
+		q.pool[i].next = i + 1
+	}
+	q.pool[len(q.pool)-1].next = -1
+	q.free = 0
+	for s := range q.head {
+		q.head[s], q.tail[s] = -1, -1
+	}
+	return q
+}
+
+func (q *shared) Spec() Spec { return q.spec }
+func (q *shared) Slots() int { return q.spec.Slots }
+func (q *shared) Len() int   { return q.total }
+
+func (q *shared) Bind(match, kernel func(*mesh.Packet) bool) {
+	q.match, q.kernel = match, kernel
+}
+
+func (q *shared) UseMetrics(r *metrics.Registry) {
+	q.mSteals = r.Counter("niq.steals")
+	q.mBypass = r.Counter("niq.bypass")
+	q.mOcc = r.Gauge("niq.occupancy")
+}
+
+// grow extends the per-source lists for an out-of-range source index (unit
+// tests feed synthetic sources; machines size the queue to the mesh). The
+// (R, B) split keeps the geometry it was built with.
+func (q *shared) grow(src int) {
+	for src >= len(q.head) {
+		q.head = append(q.head, -1)
+		q.tail = append(q.tail, -1)
+		q.lens = append(q.lens, 0)
+		q.ulens = append(q.ulens, 0)
+	}
+}
+
+func (q *shared) Admit(src int, sys bool) bool {
+	if src < 0 {
+		return false
+	}
+	if sys {
+		// Protected kernel traffic outranks the user allocation policy: it
+		// is admitted whenever a free physical slot exists. A per-source cap
+		// that could refuse an overflow release or a revocation would let a
+		// user buffer policy wedge the whole machine.
+		return q.total < q.spec.Slots
+	}
+	length := 0
+	if src < len(q.ulens) {
+		length = q.ulens[src]
+	}
+	if q.guaranteed {
+		// Within the reserve, admission needs only a free slot (system
+		// packets may transiently occupy reserve capacity, so the free list
+		// can run dry even with reserve headroom). Beyond the reserve,
+		// borrow while B lasts.
+		return q.total < q.spec.Slots && (length < q.reserve || q.borrowed < q.borrowable)
+	}
+	// DAMQ: any free slot can be stolen, up to the policy's per-source cap.
+	return q.total < q.spec.Slots && length < q.reserve+q.borrowable
+}
+
+func (q *shared) Push(pkt *mesh.Packet) {
+	src := pkt.Src
+	q.grow(src)
+	sys := q.kernel != nil && q.kernel(pkt)
+	if !q.Admit(src, sys) {
+		panic(fmt.Sprintf("niq: %s push from source %d past admission", q.spec.Name(), src))
+	}
+	i := q.free
+	if i < 0 {
+		panic("niq: admission promised a slot but the free list is empty")
+	}
+	q.free = q.pool[i].next
+	q.pool[i] = slot{pkt: pkt, seq: q.seq, sys: sys, next: -1}
+	q.seq++
+	if q.tail[src] < 0 {
+		q.head[src] = i
+	} else {
+		q.pool[q.tail[src]].next = i
+	}
+	q.tail[src] = i
+	if !sys {
+		if q.ulens[src] >= q.reserve {
+			q.borrowed++
+			q.steals++
+			q.mSteals.Inc()
+		}
+		q.ulens[src]++
+	}
+	q.lens[src]++
+	q.total++
+	q.mOcc.Set(int64(q.total))
+}
+
+// sel picks the presented source list: (chosen, globally oldest). Both are
+// -1 on an empty queue.
+func (q *shared) sel() (choice, oldest int) {
+	choice, oldest = -1, -1
+	var bestSeq, oldSeq uint64
+	for s, i := range q.head {
+		if i < 0 {
+			continue
+		}
+		e := &q.pool[i]
+		if oldest < 0 || e.seq < oldSeq {
+			oldest, oldSeq = s, e.seq
+		}
+		if q.match != nil && q.match(e.pkt) && (choice < 0 || e.seq < bestSeq) {
+			choice, bestSeq = s, e.seq
+		}
+	}
+	if oldest < 0 || choice < 0 || choice == oldest {
+		return oldest, oldest
+	}
+	// A younger matching head would jump the queue: refuse when the front
+	// packet has kernel priority, or its bypass budget is spent.
+	if q.kernel != nil && q.kernel(q.pool[q.head[oldest]].pkt) {
+		return oldest, oldest
+	}
+	if q.bypassed >= q.spec.BypassBudget {
+		return oldest, oldest
+	}
+	return choice, oldest
+}
+
+func (q *shared) Head() *mesh.Packet {
+	choice, _ := q.sel()
+	if choice < 0 {
+		return nil
+	}
+	return q.pool[q.head[choice]].pkt
+}
+
+func (q *shared) PopHead() *mesh.Packet {
+	choice, oldest := q.sel()
+	if choice < 0 {
+		return nil
+	}
+	i := q.head[choice]
+	e := q.pool[i]
+	q.head[choice] = e.next
+	if e.next < 0 {
+		q.tail[choice] = -1
+	}
+	if !e.sys {
+		if q.ulens[choice] > q.reserve {
+			q.borrowed--
+		}
+		q.ulens[choice]--
+	}
+	q.lens[choice]--
+	q.total--
+	q.pool[i] = slot{next: q.free}
+	q.free = i
+	if choice == oldest {
+		q.bypassed = 0
+	} else {
+		q.bypassed++
+		q.bypasses++
+		q.mBypass.Inc()
+	}
+	q.mOcc.Set(int64(q.total))
+	return e.pkt
+}
+
+func (q *shared) Steals() uint64   { return q.steals }
+func (q *shared) Bypasses() uint64 { return q.bypasses }
+
+// CheckInvariants re-derives every incrementally-maintained quantity from
+// the raw slot array and compares:
+//
+//   - per-source list integrity: lengths match lens/ulens, arrival stamps
+//     strictly increase along each list, no slot appears in two lists;
+//   - pool conservation: used + free == slots, total == sum(lens);
+//   - borrow accounting: borrowed == sum(max(0, ulens[s]-R));
+//   - the reserve guarantee (reserve model): borrowed <= B — no source's
+//     *user* traffic occupies another source's guaranteed slots (system
+//     packets are exempt by design).
+func (q *shared) CheckInvariants() error {
+	visited := make([]bool, len(q.pool))
+	used, borrowed := 0, 0
+	for s := range q.head {
+		n, un := 0, 0
+		var lastSeq uint64
+		for i := q.head[s]; i >= 0; i = q.pool[i].next {
+			if i >= len(q.pool) {
+				return fmt.Errorf("source %d links to slot %d outside the %d-slot pool", s, i, len(q.pool))
+			}
+			if visited[i] {
+				return fmt.Errorf("slot %d appears in two lists", i)
+			}
+			visited[i] = true
+			if q.pool[i].pkt == nil {
+				return fmt.Errorf("source %d slot %d holds a nil packet", s, i)
+			}
+			if n > 0 && q.pool[i].seq <= lastSeq {
+				return fmt.Errorf("source %d arrival stamps not increasing at slot %d", s, i)
+			}
+			lastSeq = q.pool[i].seq
+			if q.pool[i].next < 0 && q.tail[s] != i {
+				return fmt.Errorf("source %d tail is %d, list ends at %d", s, q.tail[s], i)
+			}
+			n++
+			if !q.pool[i].sys {
+				un++
+			}
+		}
+		if n != q.lens[s] {
+			return fmt.Errorf("source %d list length %d != lens %d", s, n, q.lens[s])
+		}
+		if un != q.ulens[s] {
+			return fmt.Errorf("source %d holds %d user packets, ulens says %d", s, un, q.ulens[s])
+		}
+		if n == 0 && q.tail[s] != -1 {
+			return fmt.Errorf("source %d empty but tail is %d", s, q.tail[s])
+		}
+		used += n
+		if un > q.reserve {
+			borrowed += un - q.reserve
+		}
+	}
+	freeLen := 0
+	for i := q.free; i >= 0; i = q.pool[i].next {
+		if visited[i] {
+			return fmt.Errorf("slot %d is both free and in a list", i)
+		}
+		visited[i] = true
+		freeLen++
+		if freeLen > len(q.pool) {
+			return fmt.Errorf("free list cycles")
+		}
+	}
+	if used != q.total {
+		return fmt.Errorf("lists hold %d packets, total says %d", used, q.total)
+	}
+	if used+freeLen != len(q.pool) {
+		return fmt.Errorf("%d used + %d free != %d slots", used, freeLen, len(q.pool))
+	}
+	if borrowed != q.borrowed {
+		return fmt.Errorf("recounted borrowed %d != tracked %d", borrowed, q.borrowed)
+	}
+	if q.guaranteed && borrowed > q.borrowable {
+		return fmt.Errorf("reserve violated: %d slots borrowed of %d borrowable "+
+			"(some source's guaranteed reserve is occupied by another source)",
+			borrowed, q.borrowable)
+	}
+	return nil
+}
